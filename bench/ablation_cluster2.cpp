@@ -1,0 +1,83 @@
+// Ablation D — CLUSTER2 vs the simplified CLUSTER-only diameter pipeline.
+//
+// §6.2 replaces CLUSTER2 with plain CLUSTER "for efficiency, avoiding
+// repeating the clustering twice".  This bench quantifies the trade on
+// both sides: growth steps (the round cost, roughly doubled by CLUSTER2's
+// preliminary run plus quota-padded iterations) against the estimate
+// quality and the cluster count (CLUSTER2's extra log² factor).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/diameter.hpp"
+
+namespace {
+
+using namespace gclus;
+using namespace gclus::bench;
+
+constexpr std::uint64_t kSeed = 626;
+
+void run_dataset(const BenchDataset& d) {
+  TablePrinter table({"pipeline", "clusters", "max radius", "D' est",
+                      "growth steps", "D", "est/D"});
+  for (const bool use_cluster2 : {false, true}) {
+    const std::uint32_t tau = tau_for_target_clusters(
+        d.graph(), d.graph().num_nodes() / 250.0);
+    DiameterOptions opts;
+    opts.seed = kSeed;
+    opts.use_cluster2 = use_cluster2;
+    const DiameterApprox a = approximate_diameter(d.graph(), tau, opts);
+    table.add_row({use_cluster2 ? "CLUSTER2 (analyzed, Alg. 2)"
+                                : "CLUSTER only (as in the experiments)",
+                   fmt_u(a.num_clusters), fmt_u(a.max_radius),
+                   fmt_u(a.upper_bound), fmt_u(a.growth_steps),
+                   fmt_u(d.diameter),
+                   fmt(static_cast<double>(a.upper_bound) /
+                           std::max<Dist>(1, d.diameter),
+                       2)});
+  }
+  table.print("Ablation D: CLUSTER2 vs simplified pipeline on " + d.name(),
+              "The paper's experiments use the cheaper CLUSTER-only "
+              "variant; CLUSTER2 is the analyzed algorithm.");
+}
+
+void BM_Pipeline(benchmark::State& state, const std::string& name,
+                 bool use_cluster2) {
+  const BenchDataset& d = load_bench_dataset(name);
+  const std::uint32_t tau = tau_for_target_clusters(
+      d.graph(), d.graph().num_nodes() / 250.0);
+  DiameterOptions opts;
+  opts.seed = kSeed;
+  opts.use_cluster2 = use_cluster2;
+  std::uint64_t est = 0;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const DiameterApprox a = approximate_diameter(d.graph(), tau, opts);
+    est = a.upper_bound;
+    steps = a.growth_steps;
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["estimate"] = static_cast<double>(est);
+  state.counters["growth_steps"] = static_cast<double>(steps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_dataset(load_bench_dataset("road-a"));
+  run_dataset(load_bench_dataset("mesh"));
+  for (const std::string name : {"road-a", "mesh"}) {
+    benchmark::RegisterBenchmark(("pipeline_cluster/" + name).c_str(),
+                                 BM_Pipeline, name, false)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("pipeline_cluster2/" + name).c_str(),
+                                 BM_Pipeline, name, true)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

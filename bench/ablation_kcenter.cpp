@@ -1,0 +1,102 @@
+// Ablation C — k-center quality: the CLUSTER-based approximation (§3.1)
+// against Gonzalez's sequential 2-approximation and uniformly random
+// centers, across k.
+//
+// Expected shape: Gonzalez sets the quality reference (radius within 2 of
+// optimal); CLUSTER-based centers stay within a small factor of it —
+// Theorem 2 allows O(log³n) but practice is far tighter — while being
+// parallel (O(R) rounds, not k sequential BFS sweeps).  Random centers
+// trail both, increasingly so for large k on the road/mesh graphs.
+#include <benchmark/benchmark.h>
+
+#include "baselines/gonzalez.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/kcenter.hpp"
+
+namespace {
+
+using namespace gclus;
+using namespace gclus::bench;
+
+constexpr std::uint64_t kSeed = 515;
+constexpr NodeId kKs[] = {4, 16, 64, 256};
+
+Dist random_centers_radius(const Graph& g, NodeId k) {
+  Rng rng(kSeed);
+  std::vector<NodeId> centers;
+  std::vector<char> used(g.num_nodes(), 0);
+  while (centers.size() < k) {
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    if (!used[v]) {
+      used[v] = 1;
+      centers.push_back(v);
+    }
+  }
+  return evaluate_centers(g, centers).first;
+}
+
+void run_dataset(const BenchDataset& d) {
+  TablePrinter table({"k", "CLUSTER radius", "Gonzalez radius",
+                      "random radius", "CLUSTER/Gonzalez"});
+  for (const NodeId k : kKs) {
+    if (k > d.graph().num_nodes() / 4) continue;
+    KCenterOptions opts;
+    opts.seed = kSeed;
+    const KCenterResult ours = kcenter_approx(d.graph(), k, opts);
+    const auto gz = baselines::gonzalez_kcenter(d.graph(), k);
+    const Dist rnd = random_centers_radius(d.graph(), k);
+    table.add_row({fmt_u(k), fmt_u(ours.radius), fmt_u(gz.radius),
+                   fmt_u(rnd),
+                   fmt(static_cast<double>(ours.radius) /
+                           std::max<Dist>(1, gz.radius),
+                       2)});
+  }
+  table.print("Ablation C: k-center on " + d.name(),
+              "Gonzalez is the sequential 2-approximation reference; "
+              "Theorem 2 guarantees CLUSTER within O(log^3 n) of optimal.");
+}
+
+void BM_KCenter(benchmark::State& state, const std::string& name,
+                int which) {
+  const BenchDataset& d = load_bench_dataset(name);
+  const auto k = static_cast<NodeId>(state.range(0));
+  Dist radius = 0;
+  for (auto _ : state) {
+    if (which == 0) {
+      KCenterOptions opts;
+      opts.seed = kSeed;
+      radius = kcenter_approx(d.graph(), k, opts).radius;
+    } else {
+      radius = baselines::gonzalez_kcenter(d.graph(), k).radius;
+    }
+    benchmark::DoNotOptimize(radius);
+  }
+  state.counters["radius"] = radius;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_dataset(load_bench_dataset("social-small"));
+  run_dataset(load_bench_dataset("road-a"));
+  run_dataset(load_bench_dataset("mesh"));
+  for (const std::string name : {"road-a", "mesh"}) {
+    benchmark::RegisterBenchmark(("kcenter_cluster/" + name).c_str(),
+                                 BM_KCenter, name, 0)
+        ->Arg(16)
+        ->Arg(64)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("kcenter_gonzalez/" + name).c_str(),
+                                 BM_KCenter, name, 1)
+        ->Arg(16)
+        ->Arg(64)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A — τ sensitivity (the Lemma-1 shape).
+//
+// On the mesh (doubling dimension b = 2) Lemma 1 predicts the maximum
+// cluster radius R_ALG = O((Δ/τ^{1/b})·log n): doubling τ should shrink
+// the radius by roughly √2.  On a road network (empirically b ≈ 2) the
+// same shape should appear.  The sweep reports, per τ: cluster count,
+// max radius, the normalized product r·τ^{1/2} (flat ⇒ Lemma 1 shape),
+// and the growth steps (the round-cost driver of Lemma 3).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace gclus;
+using namespace gclus::bench;
+
+constexpr std::uint64_t kSeed = 77;
+constexpr std::uint32_t kTaus[] = {1, 2, 4, 8, 16, 32, 64, 128};
+
+void print_sweep(const BenchDataset& d) {
+  TablePrinter table({"tau", "clusters", "max radius r", "r*sqrt(tau)",
+                      "growth steps", "D"});
+  for (const std::uint32_t tau : kTaus) {
+    ClusterOptions opts;
+    opts.seed = kSeed;
+    const Clustering c = cluster(d.graph(), tau, opts);
+    table.add_row({fmt_u(tau), fmt_u(c.num_clusters()),
+                   fmt_u(c.max_radius()),
+                   fmt(c.max_radius() * std::sqrt(static_cast<double>(tau)),
+                       1),
+                   fmt_u(c.growth_steps), fmt_u(d.diameter)});
+  }
+  table.print("Ablation A: tau sweep on " + d.name(),
+              "Lemma 1 with doubling dimension b=2 predicts r ~ "
+              "(D/sqrt(tau))*log n, i.e. r*sqrt(tau) roughly flat.");
+}
+
+void BM_ClusterAtTau(benchmark::State& state, const std::string& name) {
+  const BenchDataset& d = load_bench_dataset(name);
+  const auto tau = static_cast<std::uint32_t>(state.range(0));
+  ClusterOptions opts;
+  opts.seed = kSeed;
+  Dist radius = 0;
+  for (auto _ : state) {
+    const Clustering c = cluster(d.graph(), tau, opts);
+    radius = c.max_radius();
+    benchmark::DoNotOptimize(c.assignment.data());
+  }
+  state.counters["max_radius"] = radius;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep(load_bench_dataset("mesh"));
+  print_sweep(load_bench_dataset("road-a"));
+  for (const std::string name : {"mesh", "road-a"}) {
+    auto* b = benchmark::RegisterBenchmark(("cluster_tau/" + name).c_str(),
+                                           BM_ClusterAtTau, name);
+    for (const std::uint32_t tau : {1u, 8u, 64u}) {
+      b->Arg(static_cast<int>(tau));
+    }
+    b->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

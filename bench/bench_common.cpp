@@ -1,0 +1,97 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace gclus::bench {
+
+const BenchDataset& load_bench_dataset(const std::string& name) {
+  static std::map<std::string, BenchDataset> cache;
+  static std::mutex mu;
+  std::lock_guard lock(mu);
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    BenchDataset d;
+    d.dataset = workloads::load_dataset(name);
+    d.diameter = exact_diameter(d.dataset.graph).diameter;
+    it = cache.emplace(name, std::move(d)).first;
+  }
+  return it->second;
+}
+
+std::vector<const BenchDataset*> all_bench_datasets() {
+  std::vector<const BenchDataset*> out;
+  for (const auto& name : workloads::dataset_names()) {
+    out.push_back(&load_bench_dataset(name));
+  }
+  return out;
+}
+
+double round_latency_s() {
+  static const double latency = [] {
+    if (const char* env = std::getenv("GCLUS_ROUND_LATENCY")) {
+      const double v = std::strtod(env, nullptr);
+      if (v >= 0.0) return v;
+    }
+    return 0.3;
+  }();
+  return latency;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(const std::string& title,
+                         const std::string& caption) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!caption.empty()) std::printf("%s\n", caption.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() - 1;
+  for (const std::size_t w : width) total += w + 2;
+  std::string rule(total, '-');
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+std::uint32_t tau_for_target_clusters(const Graph& g, double target_clusters) {
+  const double logn =
+      std::max(1.0, std::log2(static_cast<double>(g.num_nodes())));
+  // Empirically CLUSTER returns ~4·τ·log n · (few waves) clusters; the
+  // log²n theory constant overshoots at these scales, so divide by
+  // 8·log n which lands near the target across the registry.
+  const double tau = target_clusters / (8.0 * logn);
+  return static_cast<std::uint32_t>(std::max(1.0, std::round(tau)));
+}
+
+}  // namespace gclus::bench

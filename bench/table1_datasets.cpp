@@ -1,0 +1,88 @@
+// Table 1 — characteristics of the benchmark graphs.
+//
+// Paper values (for shape comparison; our stand-ins are scaled down, see
+// DESIGN.md §3):
+//   twitter      39,774,960 nodes  684,451,342 edges  Δ = 16
+//   livejournal   3,997,962 nodes   34,681,189 edges  Δ = 21
+//   roads-CA      1,965,206 nodes    2,766,607 edges  Δ = 849
+//   roads-PA      1,088,092 nodes    1,541,898 edges  Δ = 786
+//   roads-TX      1,379,917 nodes    1,921,660 edges  Δ = 1054
+//   mesh1000      1,000,000 nodes    1,998,000 edges  Δ = 1998
+//
+// The google-benchmark section times dataset generation and the exact
+// diameter computation (iFUB), the two fixed costs every experiment pays.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/doubling.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+using namespace gclus;
+using namespace gclus::bench;
+
+void print_table1() {
+  TablePrinter table({"dataset", "paper dataset", "nodes", "edges",
+                      "diameter", "avg deg", "max deg", "doubling dim ~"});
+  for (const BenchDataset* d : all_bench_datasets()) {
+    const auto stats = degree_stats(d->graph());
+    DoublingOptions dopts;
+    dopts.seed = 5;
+    dopts.center_samples = 4;
+    // Cap the tested radii on the huge-diameter graphs to keep the
+    // greedy covers affordable; small radii dominate the estimate anyway.
+    dopts.max_radius = std::min<Dist>(32, std::max<Dist>(1, d->diameter / 4));
+    const DoublingEstimate dd = estimate_doubling_dimension(d->graph(), dopts);
+    table.add_row({d->name(), d->dataset.paper_name,
+                   fmt_u(d->graph().num_nodes()), fmt_u(d->graph().num_edges()),
+                   fmt_u(d->diameter), fmt(stats.avg_degree, 2),
+                   fmt_u(stats.max_degree), fmt(dd.dimension, 1)});
+  }
+  table.print(
+      "Table 1: characteristics of the benchmark graphs",
+      "Synthetic stand-ins at GCLUS_WORKLOAD_SCALE=" +
+          fmt(workloads::workload_scale(), 2) +
+          " (paper originals in the source header).  The doubling "
+          "dimension estimate (greedy ball covers, Definition 2) is the b "
+          "of Lemma 1: low for road/mesh, high for the social graphs.");
+}
+
+void BM_DatasetGeneration(benchmark::State& state,
+                          const std::string& name) {
+  for (auto _ : state) {
+    workloads::Dataset d = workloads::load_dataset(name);
+    benchmark::DoNotOptimize(d.graph.num_edges());
+  }
+}
+
+void BM_ExactDiameter(benchmark::State& state, const std::string& name) {
+  const BenchDataset& d = load_bench_dataset(name);
+  std::size_t bfs_runs = 0;
+  for (auto _ : state) {
+    const DiameterResult r = exact_diameter(d.graph());
+    bfs_runs = r.bfs_runs;
+    benchmark::DoNotOptimize(r.diameter);
+  }
+  state.counters["bfs_runs"] = static_cast<double>(bfs_runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  for (const auto& name : gclus::workloads::dataset_names()) {
+    benchmark::RegisterBenchmark(("generate/" + name).c_str(),
+                                 BM_DatasetGeneration, name)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("exact_diameter/" + name).c_str(),
+                                 BM_ExactDiameter, name)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table 3 — diameter approximation quality at two clustering
+// granularities.
+//
+// For every dataset the pipeline runs with a "coarser" clustering
+// (quotient of a few thousand nodes at paper scale; scaled here) and a
+// "finer" one, reporting the quotient size (n_C, m_C), the estimate Δ′
+// (the weighted-quotient upper bound Δ″ of §4, which is what the paper's
+// experiments report), and the true diameter Δ.
+//
+// Paper shape to reproduce: Δ′/Δ < 2 everywhere, the ratio shrinking on
+// sparse large-diameter graphs, and — the headline of Theorem 3 — the
+// approximation essentially independent of the granularity.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/diameter.hpp"
+
+namespace {
+
+using namespace gclus;
+using namespace gclus::bench;
+
+constexpr std::uint64_t kSeed = 2015;
+
+struct GranularityResult {
+  DiameterApprox approx;
+  std::uint32_t tau;
+};
+
+GranularityResult run(const BenchDataset& d, double target_clusters) {
+  const std::uint32_t tau =
+      tau_for_target_clusters(d.graph(), target_clusters);
+  DiameterOptions opts;
+  opts.seed = kSeed;
+  opts.use_cluster2 = false;  // the paper's simplified experimental variant
+  return {approximate_diameter(d.graph(), tau, opts), tau};
+}
+
+void print_table3() {
+  TablePrinter table({"dataset", "nC (coarse)", "mC (coarse)", "D' (coarse)",
+                      "nC (fine)", "mC (fine)", "D' (fine)", "D", "ratio"});
+  for (const BenchDataset* d : all_bench_datasets()) {
+    const NodeId n = d->graph().num_nodes();
+    const GranularityResult coarse = run(*d, n / 500.0);
+    const GranularityResult fine = run(*d, n / 50.0);
+    const double ratio =
+        static_cast<double>(fine.approx.upper_bound) /
+        std::max<Dist>(1, d->diameter);
+    table.add_row({d->name(), fmt_u(coarse.approx.quotient_nodes),
+                   fmt_u(coarse.approx.quotient_edges),
+                   fmt_u(coarse.approx.upper_bound),
+                   fmt_u(fine.approx.quotient_nodes),
+                   fmt_u(fine.approx.quotient_edges),
+                   fmt_u(fine.approx.upper_bound), fmt_u(d->diameter),
+                   fmt(ratio, 2)});
+  }
+  table.print(
+      "Table 3: diameter approximation at two granularities",
+      "D' is the weighted-quotient upper bound (2R + Delta'_C); ratio = "
+      "D'(fine)/D.  Expect ratio < 2 and near-granularity-independence.");
+}
+
+void BM_DiameterPipeline(benchmark::State& state, const std::string& name,
+                         double target_divisor) {
+  const BenchDataset& d = load_bench_dataset(name);
+  const std::uint32_t tau = tau_for_target_clusters(
+      d.graph(), d.graph().num_nodes() / target_divisor);
+  DiameterOptions opts;
+  opts.seed = kSeed;
+  std::uint64_t estimate = 0;
+  std::size_t growth_steps = 0;
+  for (auto _ : state) {
+    const DiameterApprox a = approximate_diameter(d.graph(), tau, opts);
+    estimate = a.upper_bound;
+    growth_steps = a.growth_steps;
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["estimate"] = static_cast<double>(estimate);
+  state.counters["true_diameter"] = d.diameter;
+  state.counters["growth_steps"] = static_cast<double>(growth_steps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  for (const auto& name : gclus::workloads::dataset_names()) {
+    benchmark::RegisterBenchmark(("diameter_coarse/" + name).c_str(),
+                                 BM_DiameterPipeline, name, 500.0)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("diameter_fine/" + name).c_str(),
+                                 BM_DiameterPipeline, name, 50.0)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Scenario: approximate distance queries over a road network.
+//
+// A routing frontend needs hop-distance *estimates* in microseconds —
+// without storing the O(n²) distance matrix or running a BFS per query.
+// The §4 distance oracle stores per-node (cluster, distance-to-center)
+// labels plus the APSP matrix of the weighted quotient graph: linear
+// total space, O(1) queries, polylogarithmic distortion for far pairs.
+//
+//   $ ./distance_oracle_demo
+//
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/distance_oracle.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace gclus;
+
+  const Graph g = gen::road_like(220, 220, 0.08, 0.02, /*seed=*/5);
+  std::printf("road network: %u junctions, %llu segments (%zu KB as CSR)\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              g.memory_bytes() / 1024);
+
+  Timer build_timer;
+  DistanceOracleOptions opts;
+  opts.seed = 5;
+  opts.use_cluster2 = false;
+  const DistanceOracle oracle = DistanceOracle::build(g, opts);
+  std::printf("oracle built in %.2f s: %u clusters, %zu KB storage\n",
+              build_timer.elapsed_s(), oracle.num_clusters(),
+              oracle.memory_bytes() / 1024);
+
+  // Evaluate distortion on random pairs against exact BFS distances.
+  Rng rng(99);
+  constexpr int kSources = 5;
+  constexpr int kQueriesPerSource = 2000;
+  double worst = 1.0, sum = 0.0;
+  std::size_t count = 0;
+  for (int s = 0; s < kSources; ++s) {
+    const auto u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto exact = bfs_distances(g, u);
+    for (int q = 0; q < kQueriesPerSource; ++q) {
+      const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      if (exact[v] == 0) continue;
+      const double ratio =
+          static_cast<double>(oracle.upper_bound(u, v)) / exact[v];
+      worst = std::max(worst, ratio);
+      sum += ratio;
+      ++count;
+    }
+  }
+  std::printf("distortion over %zu random queries: avg %.2fx, worst %.2fx\n",
+              count, sum / count, worst);
+
+  // Query throughput.
+  Timer query_timer;
+  constexpr int kBatch = 1000000;
+  std::uint64_t sink = 0;
+  for (int q = 0; q < kBatch; ++q) {
+    const auto u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    sink += oracle.upper_bound(u, v);
+  }
+  const double secs = query_timer.elapsed_s();
+  std::printf("throughput: %.1fM queries/s (checksum %llu)\n",
+              kBatch / secs / 1e6, static_cast<unsigned long long>(sink));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// The Miller–Peng–Xu (MPX) random-shift decomposition [SPAA'13] — the
+// clustering baseline of the paper's Table 2.
+//
+// Every node u draws an exponential shift δ_u ~ Exp(β).  Node u activates
+// as a cluster center at time δ_max − δ_u unless some cluster has covered
+// it by then; clusters grow synchronously one hop per time unit, and a
+// node v joins the cluster minimizing δ_max − δ_u + dist(u, v).  We run
+// the standard integer-step schedule: centers whose start time floors to t
+// activate at step t, and same-step claim ties are resolved by the
+// fractional part of the start time (smaller wins), which reproduces the
+// continuous rule up to 32-bit quantization.
+//
+// MPX guarantees O(log n / β) maximum radius and at most O(β·m) quotient
+// edges with high probability; unlike CLUSTER it has no mechanism to keep
+// the radius near the best achievable for the realized cluster count —
+// the weakness Table 2 demonstrates on large-diameter graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "par/thread_pool.hpp"
+
+namespace gclus::baselines {
+
+struct MpxOptions {
+  std::uint64_t seed = 1;
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs MPX with exponential-distribution parameter `beta` (> 0).  Larger
+/// β means more clusters of smaller radius.
+[[nodiscard]] Clustering mpx(const Graph& g, double beta,
+                             const MpxOptions& options = {});
+
+/// Binary-searches β so that MPX yields at least `min_clusters` clusters
+/// (the paper gives MPX "a comparable but larger number of clusters" than
+/// CLUSTER, so the radius comparison is conservative).  Returns the tuned
+/// β; `runs` bounds the search iterations.
+[[nodiscard]] double mpx_tune_beta(const Graph& g, ClusterId min_clusters,
+                                   const MpxOptions& options = {},
+                                   int runs = 12);
+
+}  // namespace gclus::baselines

@@ -1,0 +1,52 @@
+#include "baselines/random_centers.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/growth.hpp"
+
+namespace gclus::baselines {
+
+Clustering random_centers_clustering(const Graph& g, NodeId k,
+                                     const RandomCentersOptions& options) {
+  const NodeId n = g.num_nodes();
+  GCLUS_CHECK(k >= 1 && k <= n);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::global();
+
+  // Sample k distinct nodes (Floyd's algorithm would also do; with k << n
+  // rejection is cheap and deterministic given the seed).
+  Rng rng(options.seed);
+  std::vector<NodeId> centers;
+  {
+    std::vector<char> used(n, 0);
+    while (centers.size() < k) {
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      if (!used[v]) {
+        used[v] = 1;
+        centers.push_back(v);
+      }
+    }
+  }
+  std::sort(centers.begin(), centers.end());
+
+  GrowthState state(g, pool);
+  for (const NodeId c : centers) state.add_center(c);
+  while (state.covered_count() < n) {
+    if (state.frontier_empty()) {
+      // A component with no sampled center: cover it with a fallback.
+      for (NodeId v = 0; v < n; ++v) {
+        if (!state.is_covered(v)) {
+          state.add_center(v);
+          break;
+        }
+      }
+    }
+    state.step();
+  }
+  return std::move(state).finish();
+}
+
+}  // namespace gclus::baselines

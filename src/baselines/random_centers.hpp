@@ -1,0 +1,34 @@
+// One-shot random-centers clustering, in the spirit of Meyer's
+// external-memory diameter approximation [SWAT'08, the paper's ref. 21]:
+// select k centers uniformly at random up front, grow all clusters
+// synchronously until the graph is covered, and use the (weighted)
+// quotient for diameter estimation.
+//
+// Contrast with CLUSTER: no batch re-seeding when coverage stalls, so a
+// sparse region far from every sampled center forces a few clusters to
+// grow enormous radii — the effect the ablation bench quantifies on the
+// expander+path construction, and the reason Meyer's approximation factor
+// degrades as Θ(√(k·log n)) while CLUSTER's stays polylogarithmic.
+#pragma once
+
+#include <cstdint>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "par/thread_pool.hpp"
+
+namespace gclus::baselines {
+
+struct RandomCentersOptions {
+  std::uint64_t seed = 1;
+  ThreadPool* pool = nullptr;
+};
+
+/// Grows a clustering from k uniformly sampled centers.  On disconnected
+/// graphs, components missed by the sample are covered by deterministic
+/// fallback centers (one per stranded region) so the result is a valid
+/// partition.
+[[nodiscard]] Clustering random_centers_clustering(
+    const Graph& g, NodeId k, const RandomCentersOptions& options = {});
+
+}  // namespace gclus::baselines

@@ -1,0 +1,16 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gclus::detail {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::fprintf(stderr, "GCLUS_CHECK failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gclus::detail

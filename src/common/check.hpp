@@ -1,0 +1,49 @@
+// Lightweight runtime checks.
+//
+// GCLUS_CHECK is always on (used for API contract violations: the cost is
+// negligible next to the graph kernels).  GCLUS_DCHECK compiles away in
+// release builds and guards internal invariants on hot paths.
+//
+// Extra arguments after the condition are streamed into the failure
+// message: GCLUS_CHECK(ok, "bad τ=", tau).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gclus::detail {
+
+/// Prints the failure message and aborts.  Out of line so the macro body
+/// stays tiny and the happy path inlines well.
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+
+template <typename... Args>
+std::string format_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+}  // namespace gclus::detail
+
+#define GCLUS_CHECK(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::gclus::detail::check_failed(                                       \
+          #cond, __FILE__, __LINE__,                                       \
+          ::gclus::detail::format_message(__VA_ARGS__));                   \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define GCLUS_DCHECK(cond, ...) GCLUS_CHECK(cond, ##__VA_ARGS__)
+#else
+#define GCLUS_DCHECK(cond, ...) \
+  do {                          \
+  } while (0)
+#endif

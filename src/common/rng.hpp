@@ -1,0 +1,92 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows from a single 64-bit seed through
+// *counter-based* hashing: a decision attached to logical coordinates
+// (seed, stream, counter) is computed by mixing those coordinates, never by
+// advancing shared mutable state.  This makes every randomized algorithm a
+// pure function of (input, seed) regardless of how work is scheduled across
+// threads — the property the cross-implementation equivalence tests rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace gclus {
+
+/// Finalizer from SplitMix64 (Steele et al.); a high-quality 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines coordinates into a single well-mixed 64-bit value.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c) {
+  return hash_combine(hash_combine(a, b), c);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Used where a *sequential* stream is convenient (generators, shuffles).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm += 0x9e3779b97f4a7c15ULL;
+      word = mix64(sm);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Lemire's multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponential with rate `beta` (mean 1/beta), via inverse transform.
+  double next_exponential(double beta);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Counter-based uniform double in [0,1) for coordinates (seed, a, b).
+/// Schedule-independent: any thread evaluating the same coordinates gets
+/// the same value.
+double keyed_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+/// Counter-based Bernoulli(p) draw for coordinates (seed, a, b).
+bool keyed_bernoulli(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                     double p);
+
+/// Counter-based Exp(beta) draw for coordinates (seed, a).
+double keyed_exponential(std::uint64_t seed, std::uint64_t a, double beta);
+
+}  // namespace gclus

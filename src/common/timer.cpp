@@ -1,0 +1,4 @@
+#include "common/timer.hpp"
+
+// Header-only today; the translation unit pins the library's symbols and
+// keeps a stable home if out-of-line members are added later.

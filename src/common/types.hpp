@@ -1,0 +1,42 @@
+// Core scalar type aliases shared across the library.
+//
+// The library follows the paper's setting: unweighted, undirected graphs
+// with up to tens of millions of nodes.  32-bit node ids keep the CSR
+// arrays compact; edge offsets are 64-bit so graphs with more than 2^32
+// directed half-edges remain representable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace gclus {
+
+/// Node identifier (index into CSR arrays).
+using NodeId = std::uint32_t;
+
+/// Edge offset into the CSR adjacency array.
+using EdgeId = std::uint64_t;
+
+/// Cluster identifier produced by the decomposition algorithms.
+using ClusterId = std::uint32_t;
+
+/// Hop distance in an unweighted graph.
+using Dist = std::uint32_t;
+
+/// Edge weight in a weighted (quotient) graph.
+using Weight = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "not yet assigned to any cluster".
+inline constexpr ClusterId kNoCluster = std::numeric_limits<ClusterId>::max();
+
+/// Sentinel for "unreached" distances.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/// Sentinel for "unreached" weighted distances.
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::max();
+
+}  // namespace gclus

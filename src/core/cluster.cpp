@@ -1,0 +1,116 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/growth.hpp"
+#include "par/parallel_for.hpp"
+
+namespace gclus {
+
+namespace {
+
+double log2_clamped(NodeId n) {
+  return std::max(1.0, std::log2(static_cast<double>(n)));
+}
+
+}  // namespace
+
+double cluster_selection_probability(std::uint32_t tau, NodeId num_nodes,
+                                     NodeId uncovered,
+                                     double selection_constant) {
+  GCLUS_CHECK(uncovered > 0);
+  const double p = selection_constant * tau * log2_clamped(num_nodes) /
+                   static_cast<double>(uncovered);
+  return std::min(1.0, p);
+}
+
+Clustering cluster(const Graph& g, std::uint32_t tau,
+                   const ClusterOptions& options) {
+  GCLUS_CHECK(tau >= 1, "CLUSTER requires tau >= 1");
+  const NodeId n = g.num_nodes();
+  GCLUS_CHECK(n >= 1);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::global();
+
+  GrowthState state(g, pool);
+  const double logn = log2_clamped(n);
+  const double stop_threshold = options.threshold_constant * tau * logn;
+
+  std::size_t iteration = 0;
+  std::vector<std::vector<NodeId>> selected_per_worker(pool.num_threads());
+
+  while (state.uncovered_count() > 0 &&
+         static_cast<double>(state.uncovered_count()) >= stop_threshold) {
+    const NodeId uncovered = state.uncovered_count();
+    const double p = cluster_selection_probability(
+        tau, n, uncovered, options.selection_constant);
+
+    // --- Select the new batch of centers among uncovered nodes. ---
+    // The Bernoulli draw is keyed on (seed, iteration, node): deterministic
+    // and schedule-independent.  Selected nodes are gathered per worker,
+    // then sorted so cluster ids are assigned in node order.
+    for (auto& s : selected_per_worker) s.clear();
+    {
+      std::atomic<std::size_t> cursor{0};
+      pool.run_on_workers([&](std::size_t worker) {
+        auto& out = selected_per_worker[worker];
+        constexpr std::size_t kGrain = 2048;
+        for (;;) {
+          const std::size_t lo =
+              cursor.fetch_add(kGrain, std::memory_order_relaxed);
+          if (lo >= n) break;
+          const std::size_t hi = std::min<std::size_t>(lo + kGrain, n);
+          for (std::size_t v = lo; v < hi; ++v) {
+            if (state.is_covered(static_cast<NodeId>(v))) continue;
+            if (keyed_bernoulli(options.seed, iteration, v, p)) {
+              out.push_back(static_cast<NodeId>(v));
+            }
+          }
+        }
+      });
+    }
+    std::vector<NodeId> selected;
+    for (const auto& s : selected_per_worker) {
+      selected.insert(selected.end(), s.begin(), s.end());
+    }
+    std::sort(selected.begin(), selected.end());
+    for (const NodeId c : selected) state.add_center(c);
+
+    // Progress guard: with no active frontier and an empty batch the grow
+    // phase below would spin forever (tiny graphs, or disconnected graphs
+    // where all active clusters exhausted their components).  Inject one
+    // deterministic center — the smallest uncovered node.
+    if (state.frontier_empty()) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!state.is_covered(v)) {
+          state.add_center(v);
+          break;
+        }
+      }
+    }
+
+    // --- Grow all clusters until half the uncovered nodes are covered. ---
+    // Centers activated this iteration already count toward coverage, so
+    // the remaining target accounts for them.
+    const NodeId target = (uncovered + 1) / 2;
+    const NodeId covered_by_selection = uncovered - state.uncovered_count();
+    if (covered_by_selection < target) {
+      NodeId grown = state.grow_until_covered(target - covered_by_selection);
+      // If the frontier died before reaching the target (disconnected
+      // graph), fall through: the outer loop re-samples centers from the
+      // remaining uncovered regions.
+      (void)grown;
+    }
+    ++iteration;
+  }
+
+  state.add_singletons_for_uncovered();
+  Clustering out = std::move(state).finish();
+  out.iterations = iteration;
+  return out;
+}
+
+}  // namespace gclus

@@ -1,0 +1,86 @@
+#include "core/cluster2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/growth.hpp"
+#include "par/parallel_for.hpp"
+
+namespace gclus {
+
+Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
+                        const ClusterOptions& options) {
+  GCLUS_CHECK(tau >= 1);
+  const NodeId n = g.num_nodes();
+  GCLUS_CHECK(n >= 1);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::global();
+
+  // Phase 1: learn R_ALG with a plain CLUSTER(τ) run on a derived seed.
+  ClusterOptions prelim = options;
+  prelim.seed = hash_combine(options.seed, 0xC1u);
+  const Clustering pre = cluster(g, tau, prelim);
+
+  Cluster2Result result;
+  result.r_alg = pre.max_radius();
+  result.prelim_growth_steps = pre.growth_steps;
+
+  // Growth quota per iteration.  R_ALG can be 0 when the preliminary run
+  // degenerates to singletons (tiny graphs); one step per iteration keeps
+  // the loop meaningful there while preserving 2·R_ALG everywhere else.
+  const std::size_t quota =
+      std::max<std::size_t>(1, 2 * static_cast<std::size_t>(result.r_alg));
+
+  const auto log_n = static_cast<std::size_t>(
+      std::ceil(std::log2(std::max<double>(2.0, n))));
+
+  GrowthState state(g, pool);
+  std::vector<std::vector<NodeId>> selected_per_worker(pool.num_threads());
+
+  std::size_t iterations = 0;
+  for (std::size_t i = 1; i <= log_n && state.uncovered_count() > 0; ++i) {
+    ++iterations;
+    const double p = std::min(
+        1.0, std::ldexp(1.0, static_cast<int>(i)) / static_cast<double>(n));
+
+    for (auto& s : selected_per_worker) s.clear();
+    {
+      std::atomic<std::size_t> cursor{0};
+      pool.run_on_workers([&](std::size_t worker) {
+        auto& out = selected_per_worker[worker];
+        constexpr std::size_t kGrain = 2048;
+        for (;;) {
+          const std::size_t lo =
+              cursor.fetch_add(kGrain, std::memory_order_relaxed);
+          if (lo >= n) break;
+          const std::size_t hi = std::min<std::size_t>(lo + kGrain, n);
+          for (std::size_t v = lo; v < hi; ++v) {
+            if (state.is_covered(static_cast<NodeId>(v))) continue;
+            if (keyed_bernoulli(options.seed, 0x5EC0 + i, v, p)) {
+              out.push_back(static_cast<NodeId>(v));
+            }
+          }
+        }
+      });
+    }
+    std::vector<NodeId> selected;
+    for (const auto& s : selected_per_worker) {
+      selected.insert(selected.end(), s.begin(), s.end());
+    }
+    std::sort(selected.begin(), selected.end());
+    for (const NodeId c : selected) state.add_center(c);
+
+    state.grow_steps(quota);
+  }
+
+  // p reaches 1 in the final iteration, so everything is covered unless n
+  // is not a power of two and rounding left a sliver — close it out.
+  state.add_singletons_for_uncovered();
+  result.clustering = std::move(state).finish();
+  result.clustering.iterations = iterations;
+  return result;
+}
+
+}  // namespace gclus

@@ -1,0 +1,40 @@
+// Algorithm 2 (CLUSTER2) from §4 of the paper.
+//
+// CLUSTER2 first runs CLUSTER(τ) only to learn R_ALG — the maximum cluster
+// radius achievable at granularity τ — then rebuilds a clustering from
+// scratch over log n iterations: in iteration i every uncovered node
+// becomes a center with probability 2^i/n, and all clusters grow for
+// exactly 2·R_ALG synchronous steps.  The fixed growth quota is the
+// property Theorem 3 needs: every cluster performs at least (and at most)
+// a known number of growing steps per iteration, which bounds how many
+// clusters can touch any shortest path and makes the quotient-diameter
+// approximation factor independent of the cluster count.
+//
+// Guarantees (Lemma 2): O(τ·log⁴ n) clusters of radius ≤ 2·R_ALG·log n,
+// with high probability.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.hpp"
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+struct Cluster2Result {
+  Clustering clustering;
+
+  /// R_ALG measured by the preliminary CLUSTER(τ) run.
+  Dist r_alg = 0;
+
+  /// Growth steps of the preliminary run (adds to the total round cost).
+  std::size_t prelim_growth_steps = 0;
+};
+
+/// Runs CLUSTER2(τ).  `options.seed` seeds both phases (the preliminary
+/// CLUSTER run derives a distinct stream from it).
+[[nodiscard]] Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
+                                      const ClusterOptions& options = {});
+
+}  // namespace gclus

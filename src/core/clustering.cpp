@@ -1,0 +1,65 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gclus {
+
+Dist Clustering::max_radius() const {
+  Dist r = 0;
+  for (const Dist x : radius) r = std::max(r, x);
+  return r;
+}
+
+bool Clustering::validate(const Graph& g) const {
+  const NodeId n = g.num_nodes();
+  if (assignment.size() != n || dist_to_center.size() != n) return false;
+  const ClusterId k = num_clusters();
+  if (radius.size() != k || sizes.size() != k) return false;
+
+  std::vector<NodeId> seen_sizes(k, 0);
+  std::vector<Dist> seen_radius(k, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const ClusterId c = assignment[v];
+    if (c >= k) return false;
+    ++seen_sizes[c];
+    seen_radius[c] = std::max(seen_radius[c], dist_to_center[v]);
+    if (dist_to_center[v] == 0) {
+      if (centers[c] != v) return false;  // only the center sits at dist 0
+    } else {
+      // Claim-chain: some same-cluster neighbor is exactly one hop closer.
+      bool found = false;
+      for (const NodeId u : g.neighbors(v)) {
+        if (assignment[u] == c && dist_to_center[u] + 1 == dist_to_center[v]) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  for (ClusterId c = 0; c < k; ++c) {
+    if (centers[c] >= n) return false;
+    if (assignment[centers[c]] != c) return false;
+    if (dist_to_center[centers[c]] != 0) return false;
+    if (seen_sizes[c] != sizes[c]) return false;
+    if (seen_sizes[c] == 0) return false;  // empty cluster
+    if (seen_radius[c] != radius[c]) return false;
+  }
+  return true;
+}
+
+void finalize_cluster_stats(Clustering& c) {
+  const ClusterId k = c.num_clusters();
+  c.radius.assign(k, 0);
+  c.sizes.assign(k, 0);
+  for (std::size_t v = 0; v < c.assignment.size(); ++v) {
+    const ClusterId cl = c.assignment[v];
+    GCLUS_CHECK(cl < k, "unassigned node ", v, " in finalize");
+    ++c.sizes[cl];
+    c.radius[cl] = std::max(c.radius[cl], c.dist_to_center[v]);
+  }
+}
+
+}  // namespace gclus

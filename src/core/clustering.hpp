@@ -1,0 +1,65 @@
+// The clustering data model shared by CLUSTER, CLUSTER2 and the baselines.
+//
+// A Clustering is a partition of V into disjoint, internally connected
+// clusters, each grown around a center.  Beyond the assignment itself we
+// retain the per-node hop distance to the assigned center (recorded at
+// claim time during growth) — the quantity that defines cluster radii,
+// feeds CLUSTER2's growth quota, weights the quotient graph, and powers
+// the distance oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+struct Clustering {
+  /// Per-node cluster id in [0, num_clusters()); kNoCluster never appears
+  /// in a finished clustering of a covered graph.
+  std::vector<ClusterId> assignment;
+
+  /// Per-node hop distance to its cluster's center along the growth path.
+  std::vector<Dist> dist_to_center;
+
+  /// Per-cluster center node.
+  std::vector<NodeId> centers;
+
+  /// Per-cluster maximum dist_to_center over members.
+  std::vector<Dist> radius;
+
+  /// Per-cluster member count.
+  std::vector<NodeId> sizes;
+
+  /// Total number of synchronous cluster-growing steps performed — the R
+  /// of Lemma 3, which governs the MR round complexity.
+  std::size_t growth_steps = 0;
+
+  /// Number of batch iterations executed (center-selection waves).
+  std::size_t iterations = 0;
+
+  [[nodiscard]] ClusterId num_clusters() const {
+    return static_cast<ClusterId>(centers.size());
+  }
+
+  /// Maximum cluster radius R_ALG.
+  [[nodiscard]] Dist max_radius() const;
+
+  /// Structural validation against the source graph:
+  ///   * every node is assigned, ids in range, sizes/centers consistent;
+  ///   * centers have distance 0 and carry their own cluster id;
+  ///   * every non-center member has a same-cluster neighbor one hop
+  ///     closer to the center (claim-chain: implies connectivity and that
+  ///     dist_to_center is a realizable within-cluster path length);
+  ///   * radius[c] equals the max member distance.
+  /// O(n + m).  Returns true iff all hold.
+  [[nodiscard]] bool validate(const Graph& g) const;
+};
+
+/// Recomputes radius and sizes from assignment/dist_to_center (used by
+/// algorithms after their final commit phase).
+void finalize_cluster_stats(Clustering& c);
+
+}  // namespace gclus

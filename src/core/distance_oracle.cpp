@@ -1,0 +1,67 @@
+#include "core/distance_oracle.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/cluster2.hpp"
+#include "core/quotient.hpp"
+#include "graph/weighted.hpp"
+
+namespace gclus {
+
+DistanceOracle DistanceOracle::build(const Graph& g,
+                                     const DistanceOracleOptions& options) {
+  const NodeId n = g.num_nodes();
+  GCLUS_CHECK(n >= 1);
+
+  std::uint32_t tau = options.tau;
+  if (tau == 0) {
+    const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
+    tau = static_cast<std::uint32_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(n)) / (logn * logn)));
+  }
+
+  ClusterOptions copts;
+  copts.seed = options.seed;
+  copts.pool = options.pool;
+
+  Clustering clustering;
+  if (options.use_cluster2) {
+    clustering = cluster2(g, tau, copts).clustering;
+  } else {
+    clustering = cluster(g, tau, copts);
+  }
+
+  const QuotientGraph q = build_quotient(g, clustering, /*with_weights=*/true);
+
+  DistanceOracle oracle;
+  oracle.num_clusters_ = clustering.num_clusters();
+  oracle.max_radius_ = clustering.max_radius();
+  oracle.cluster_of_ = clustering.assignment;
+  oracle.dist_to_center_ = clustering.dist_to_center;
+  // The dense APSP is the deliberate O(k²) cost; cap via apsp_matrix.
+  oracle.apsp_ = apsp_matrix(q.weighted, /*max_nodes=*/40000);
+  return oracle;
+}
+
+std::uint64_t DistanceOracle::upper_bound(NodeId u, NodeId v) const {
+  GCLUS_CHECK(u < cluster_of_.size() && v < cluster_of_.size());
+  if (u == v) return 0;
+  const ClusterId cu = cluster_of_[u];
+  const ClusterId cv = cluster_of_[v];
+  const std::uint64_t label_cost = static_cast<std::uint64_t>(
+      dist_to_center_[u]) + dist_to_center_[v];
+  if (cu == cv) return label_cost;  // path u -> center -> v inside cluster
+  const Weight across = apsp_[static_cast<std::size_t>(cu) * num_clusters_ +
+                              cv];
+  GCLUS_CHECK(across != kInfWeight, "oracle built over a disconnected graph");
+  return label_cost + across;
+}
+
+std::size_t DistanceOracle::memory_bytes() const {
+  return cluster_of_.size() * sizeof(ClusterId) +
+         dist_to_center_.size() * sizeof(Dist) +
+         apsp_.size() * sizeof(Weight);
+}
+
+}  // namespace gclus

@@ -1,0 +1,66 @@
+// Linear-space distance oracle (§4, final remark).
+//
+// Build: run the decomposition at granularity τ = O(√n / log⁴ n), build
+// the *weighted* quotient graph, and store its dense all-pairs
+// shortest-path matrix plus the per-node (cluster, dist-to-center) labels.
+// Query: d′(u,v) = dist(u, ctr(u)) + apsp[ctr(u)][ctr(v)] + dist(v, ctr(v))
+// is an upper bound on dist(u,v), because every weighted quotient path
+// corresponds to a concrete path in G through the cluster centers.  The
+// paper shows d′(u,v) = O(d(u,v)·log³ n + R_ALG2) with high probability —
+// polylogarithmic distortion for far-apart node pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+struct DistanceOracleOptions {
+  std::uint64_t seed = 1;
+
+  /// 0 means "choose τ automatically" as max(1, √n / log²n) — large enough
+  /// to keep the quotient near √n nodes so the APSP matrix stays linear
+  /// in the input size.
+  std::uint32_t tau = 0;
+
+  /// Use CLUSTER2 (the analyzed variant) instead of plain CLUSTER.
+  bool use_cluster2 = true;
+
+  ThreadPool* pool = nullptr;
+};
+
+class DistanceOracle {
+ public:
+  /// Builds the oracle over the *connected* graph `g`.
+  static DistanceOracle build(const Graph& g,
+                              const DistanceOracleOptions& options = {});
+
+  /// Upper bound on dist(u, v).  Exact 0 when u == v.
+  [[nodiscard]] std::uint64_t upper_bound(NodeId u, NodeId v) const;
+
+  /// Clusters in the underlying decomposition.
+  [[nodiscard]] ClusterId num_clusters() const {
+    return static_cast<ClusterId>(num_clusters_);
+  }
+
+  /// Maximum cluster radius (the additive term of the guarantee).
+  [[nodiscard]] Dist max_radius() const { return max_radius_; }
+
+  /// Bytes of storage: labels + APSP matrix.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  DistanceOracle() = default;
+
+  std::vector<ClusterId> cluster_of_;
+  std::vector<Dist> dist_to_center_;
+  std::vector<Weight> apsp_;  // num_clusters_² row-major
+  std::size_t num_clusters_ = 0;
+  Dist max_radius_ = 0;
+};
+
+}  // namespace gclus

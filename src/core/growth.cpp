@@ -1,0 +1,142 @@
+#include "core/growth.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "par/parallel_for.hpp"
+
+namespace gclus {
+
+GrowthState::GrowthState(const Graph& g, ThreadPool& pool)
+    : g_(&g),
+      pool_(&pool),
+      claim_(g.num_nodes()),
+      covered_(g.num_nodes(), 0),
+      committing_(g.num_nodes()),
+      dist_(g.num_nodes(), kInfDist),
+      proposals_(pool.num_threads()),
+      next_frontier_(pool.num_threads()) {
+  parallel_for(pool, 0, g.num_nodes(), [&](std::size_t v) {
+    claim_[v].store(kUnclaimed, std::memory_order_relaxed);
+  });
+}
+
+ClusterId GrowthState::add_center(NodeId v, std::uint64_t priority) {
+  GCLUS_CHECK(v < g_->num_nodes());
+  GCLUS_CHECK(covered_[v] == 0, "center ", v, " already covered");
+  const auto cid = static_cast<ClusterId>(centers_.size());
+  GCLUS_CHECK(centers_.size() < (1ULL << 32), "cluster id overflow");
+  const std::uint64_t prio =
+      priority == kPriorityFromClusterId ? cid : priority;
+  GCLUS_CHECK(prio < (1ULL << 32), "priority must fit in 32 bits");
+  claim_[v].store(make_key(cid, prio), std::memory_order_relaxed);
+  covered_[v] = 1;
+  dist_[v] = 0;
+  centers_.push_back(v);
+  activation_.push_back(static_cast<std::uint32_t>(steps_executed_));
+  frontier_.push_back(v);
+  ++covered_count_;
+  return cid;
+}
+
+NodeId GrowthState::step() {
+  if (frontier_.empty()) return 0;
+  ++steps_executed_;
+  const auto step_index = static_cast<std::uint32_t>(steps_executed_);
+
+  // Phase 1 — proposals: every frontier node bids for its uncovered
+  // neighbors with its cluster's claim key; fetch-min keeps the best bid.
+  for (auto& p : proposals_) p.clear();
+  {
+    std::atomic<std::size_t> cursor{0};
+    pool_->run_on_workers([&](std::size_t worker) {
+      auto& out = proposals_[worker];
+      constexpr std::size_t kGrain = 64;
+      for (;;) {
+        const std::size_t lo =
+            cursor.fetch_add(kGrain, std::memory_order_relaxed);
+        if (lo >= frontier_.size()) break;
+        const std::size_t hi = std::min(lo + kGrain, frontier_.size());
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId u = frontier_[i];
+          const std::uint64_t key = claim_[u].load(std::memory_order_relaxed);
+          for (const NodeId v : g_->neighbors(u)) {
+            if (covered_[v] != 0) continue;
+            if (atomic_fetch_min(claim_[v], key)) out.push_back(v);
+          }
+        }
+      }
+    });
+  }
+
+  // Phase 2 — commit: each proposed node is finalized exactly once (the
+  // atomic-flag latch dedups multi-worker proposals), its distance derived
+  // from the winning cluster's activation step.
+  for (auto& nf : next_frontier_) nf.clear();
+  std::atomic<NodeId> newly{0};
+  {
+    pool_->run_on_workers([&](std::size_t worker) {
+      auto& in = proposals_[worker];
+      auto& out = next_frontier_[worker];
+      NodeId local_new = 0;
+      for (const NodeId v : in) {
+        if (committing_[v].test_and_set(std::memory_order_relaxed)) continue;
+        const std::uint64_t key = claim_[v].load(std::memory_order_relaxed);
+        const ClusterId c = key_cluster(key);
+        covered_[v] = 1;
+        dist_[v] = static_cast<Dist>(step_index - activation_[c]);
+        out.push_back(v);
+        ++local_new;
+      }
+      newly.fetch_add(local_new, std::memory_order_relaxed);
+    });
+  }
+
+  frontier_.clear();
+  for (const auto& nf : next_frontier_) {
+    frontier_.insert(frontier_.end(), nf.begin(), nf.end());
+  }
+  covered_count_ += newly.load();
+  return newly.load();
+}
+
+NodeId GrowthState::grow_steps(std::size_t steps) {
+  NodeId total = 0;
+  for (std::size_t s = 0; s < steps && !frontier_.empty(); ++s) {
+    total += step();
+  }
+  return total;
+}
+
+NodeId GrowthState::grow_until_covered(NodeId target_new) {
+  NodeId total = 0;
+  while (total < target_new && !frontier_.empty()) {
+    total += step();
+  }
+  return total;
+}
+
+void GrowthState::add_singletons_for_uncovered() {
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    if (covered_[v] == 0) add_center(v);
+  }
+}
+
+Clustering GrowthState::finish() && {
+  const NodeId n = g_->num_nodes();
+  GCLUS_CHECK(covered_count_ == n,
+              "finish() requires full coverage; uncovered nodes remain");
+  Clustering out;
+  out.assignment.resize(n);
+  out.dist_to_center = std::move(dist_);
+  out.centers = std::move(centers_);
+  out.growth_steps = steps_executed_;
+  parallel_for(*pool_, 0, n, [&](std::size_t v) {
+    out.assignment[v] =
+        key_cluster(claim_[v].load(std::memory_order_relaxed));
+  });
+  finalize_cluster_stats(out);
+  return out;
+}
+
+}  // namespace gclus

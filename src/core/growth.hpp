@@ -1,0 +1,104 @@
+// The synchronous cluster-growing engine.
+//
+// All decomposition algorithms in this library (CLUSTER, CLUSTER2, the MPX
+// and random-centers baselines) share the same primitive: a set of
+// clusters, each with a frontier, grows one hop per step, claiming
+// uncovered nodes; concurrent claims on a node are resolved by an atomic
+// minimum over a per-cluster priority key.  Because fetch-min is
+// commutative, the final partition is a pure function of (graph, centers,
+// priorities) — independent of thread schedule — which is what the
+// determinism and MR-equivalence tests rely on.
+//
+// Per-step work is proportional to the frontier's degree sum; a full
+// growth to cover the graph costs O(n + m) total claims.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "par/thread_pool.hpp"
+
+namespace gclus {
+
+class GrowthState {
+ public:
+  /// Starts with every node uncovered and no clusters.
+  explicit GrowthState(const Graph& g, ThreadPool& pool);
+
+  GrowthState(const GrowthState&) = delete;
+  GrowthState& operator=(const GrowthState&) = delete;
+
+  /// Registers a new singleton cluster centered at `v` (must be uncovered).
+  /// `priority` resolves multi-cluster claims: smaller wins.  Defaults to
+  /// the cluster id, i.e. earlier-activated clusters win ties.
+  /// Returns the new cluster's id.
+  ClusterId add_center(NodeId v,
+                       std::uint64_t priority = kPriorityFromClusterId);
+
+  /// One synchronous growth step over all active frontiers.
+  /// Returns the number of newly covered nodes.
+  NodeId step();
+
+  /// Grows for exactly `steps` steps (stops early only if the frontier
+  /// empties).  Returns nodes covered.
+  NodeId grow_steps(std::size_t steps);
+
+  /// Grows until at least `target_new` additional nodes are covered or the
+  /// frontier empties.  Returns nodes covered.
+  NodeId grow_until_covered(NodeId target_new);
+
+  [[nodiscard]] NodeId covered_count() const { return covered_count_; }
+  [[nodiscard]] NodeId uncovered_count() const {
+    return static_cast<NodeId>(g_->num_nodes() - covered_count_);
+  }
+  [[nodiscard]] bool frontier_empty() const { return frontier_.empty(); }
+  [[nodiscard]] std::size_t steps_executed() const { return steps_executed_; }
+  [[nodiscard]] ClusterId num_clusters() const {
+    return static_cast<ClusterId>(centers_.size());
+  }
+  [[nodiscard]] bool is_covered(NodeId v) const { return covered_[v] != 0; }
+
+  /// Turns every still-uncovered node into a singleton cluster.
+  void add_singletons_for_uncovered();
+
+  /// Extracts the final Clustering.  All nodes must be covered.
+  [[nodiscard]] Clustering finish() &&;
+
+  static constexpr std::uint64_t kPriorityFromClusterId = ~std::uint64_t{0};
+
+ private:
+  const Graph* g_;
+  ThreadPool* pool_;
+
+  /// Claim key per node: (priority << 32) | cluster_id while racing; the
+  /// cluster id is the low 32 bits.  kUnclaimed when untouched.
+  std::vector<std::atomic<std::uint64_t>> claim_;
+  std::vector<std::uint8_t> covered_;        // committed coverage flags
+  std::vector<std::atomic_flag> committing_; // commit dedup latches
+  std::vector<Dist> dist_;                   // per-node dist to center
+  std::vector<NodeId> centers_;              // per cluster
+  std::vector<std::uint32_t> activation_;    // per cluster: steps_executed_
+                                             // at activation time
+  std::vector<NodeId> frontier_;
+  std::vector<std::vector<NodeId>> proposals_;     // per worker
+  std::vector<std::vector<NodeId>> next_frontier_; // per worker
+
+  NodeId covered_count_ = 0;
+  std::size_t steps_executed_ = 0;
+
+  static constexpr std::uint64_t kUnclaimed = ~std::uint64_t{0};
+
+  [[nodiscard]] static std::uint64_t make_key(ClusterId c,
+                                              std::uint64_t priority) {
+    return (priority << 32) | static_cast<std::uint64_t>(c);
+  }
+  [[nodiscard]] static ClusterId key_cluster(std::uint64_t key) {
+    return static_cast<ClusterId>(key & 0xffffffffULL);
+  }
+};
+
+}  // namespace gclus

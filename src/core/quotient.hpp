@@ -1,0 +1,36 @@
+// Quotient graph construction (§4).
+//
+// Given a clustering of G, the quotient graph G_C has one node per cluster
+// and an edge between two clusters whenever some G-edge crosses them.  The
+// weighted variant assigns edge {A, B} the length of a concrete path
+// between the two centers that stays inside A ∪ B:
+//     w(A,B) = min over crossing G-edges (a,b) of
+//              dist(a, center_A) + 1 + dist(b, center_B),
+// using the claim-time distances recorded by the growth engine.  This is
+// the weighting the paper uses for the tighter Δ″ upper bound and for the
+// distance oracle.
+#pragma once
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted.hpp"
+
+namespace gclus {
+
+struct QuotientGraph {
+  /// Unweighted quotient: node c == cluster c of the clustering.
+  Graph graph;
+
+  /// Weighted variant (empty unless requested).
+  WeightedGraph weighted;
+
+  [[nodiscard]] NodeId num_clusters() const { return graph.num_nodes(); }
+};
+
+/// Builds the quotient graph of `clustering` over `g`.
+/// When `with_weights` is set the weighted variant is built as well.
+[[nodiscard]] QuotientGraph build_quotient(const Graph& g,
+                                           const Clustering& clustering,
+                                           bool with_weights = true);
+
+}  // namespace gclus

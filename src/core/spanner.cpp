@@ -1,0 +1,134 @@
+#include "core/spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gclus {
+
+namespace {
+
+/// Sentinel for "vertex no longer clustered" (retired in an earlier
+/// phase or never hooked).
+constexpr NodeId kRetired = kInvalidNode;
+
+}  // namespace
+
+SpannerResult baswana_sen_spanner(const WeightedGraph& g,
+                                  const SpannerOptions& options) {
+  GCLUS_CHECK(options.k >= 1, "spanner stretch parameter k must be >= 1");
+  const NodeId n = g.num_nodes();
+  SpannerResult out;
+  out.input_edges = g.num_edges();
+  out.stretch = 2 * options.k - 1;
+  if (options.k == 1) {
+    // (2·1−1) = 1-spanner: the graph itself.
+    out.spanner = g;
+    out.kept_edges = g.num_edges();
+    return out;
+  }
+
+  // cluster_of[v]: id of v's cluster center in the current phase, or
+  // kRetired once v has fallen out of the clustering.
+  std::vector<NodeId> cluster_of(n);
+  for (NodeId v = 0; v < n; ++v) cluster_of[v] = v;
+
+  std::vector<std::tuple<NodeId, NodeId, Weight>> kept;
+  const double sample_p =
+      std::pow(static_cast<double>(std::max<NodeId>(2, n)),
+               -1.0 / options.k);
+
+  // Per-phase scratch: cheapest edge from v to each adjacent cluster.
+  std::unordered_map<NodeId, std::pair<NodeId, Weight>> best_to_cluster;
+
+  for (unsigned phase = 1; phase < options.k; ++phase) {
+    // --- Sample surviving clusters. ---
+    std::vector<char> sampled(n, 0);
+    for (NodeId c = 0; c < n; ++c) {
+      sampled[c] =
+          keyed_bernoulli(options.seed, phase, c, sample_p) ? 1 : 0;
+    }
+
+    std::vector<NodeId> next_cluster(n, kRetired);
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId cv = cluster_of[v];
+      if (cv == kRetired) continue;
+      if (sampled[cv]) {
+        next_cluster[v] = cv;  // sampled clusters carry their members over
+        continue;
+      }
+      // Group v's incident edges by the neighbor's current cluster and
+      // keep only the cheapest per cluster (ties to the smaller center id
+      // come free from the deterministic neighbor order).
+      best_to_cluster.clear();
+      for (const auto& [u, w] : g.neighbors(v)) {
+        const NodeId cu = cluster_of[u];
+        if (cu == kRetired || cu == cv) continue;
+        auto [it, inserted] = best_to_cluster.emplace(cu, std::make_pair(u, w));
+        if (!inserted && w < it->second.second) it->second = {u, w};
+      }
+      // Hook onto the cheapest adjacent *sampled* cluster if any.
+      NodeId hook_cluster = kRetired;
+      Weight hook_w = kInfWeight;
+      NodeId hook_u = kInvalidNode;
+      for (const auto& [cu, uw] : best_to_cluster) {
+        if (sampled[cu] && (uw.second < hook_w ||
+                            (uw.second == hook_w && cu < hook_cluster))) {
+          hook_cluster = cu;
+          hook_u = uw.first;
+          hook_w = uw.second;
+        }
+      }
+      if (hook_cluster != kRetired) {
+        kept.emplace_back(v, hook_u, hook_w);
+        next_cluster[v] = hook_cluster;
+        // Also keep one edge to every adjacent cluster cheaper than the
+        // hook (the Baswana–Sen rule that bounds the stretch).
+        for (const auto& [cu, uw] : best_to_cluster) {
+          if (cu != hook_cluster && uw.second < hook_w) {
+            kept.emplace_back(v, uw.first, uw.second);
+          }
+        }
+      } else {
+        // No sampled neighbor cluster: keep one edge per adjacent
+        // cluster and retire from the clustering.
+        for (const auto& [cu, uw] : best_to_cluster) {
+          kept.emplace_back(v, uw.first, uw.second);
+        }
+        next_cluster[v] = kRetired;
+      }
+    }
+    cluster_of = std::move(next_cluster);
+  }
+
+  // --- Final phase: every vertex keeps one cheapest edge to each
+  // adjacent surviving cluster. ---
+  for (NodeId v = 0; v < n; ++v) {
+    best_to_cluster.clear();
+    const NodeId cv = cluster_of[v];
+    for (const auto& [u, w] : g.neighbors(v)) {
+      const NodeId cu = cluster_of[u];
+      if (cu == kRetired || cu == cv) continue;
+      auto [it, inserted] = best_to_cluster.emplace(cu, std::make_pair(u, w));
+      if (!inserted && w < it->second.second) it->second = {u, w};
+    }
+    for (const auto& [cu, uw] : best_to_cluster) {
+      kept.emplace_back(v, uw.first, uw.second);
+    }
+    // Keep intra-cluster structure: the edge to the cluster center's
+    // spanning tree is implicit in the hook edges added per phase; edges
+    // between members of the SAME cluster that were never hooked are
+    // spanned through the center, so nothing more to add.
+  }
+
+  out.spanner = WeightedGraph::from_edges(n, std::move(kept));
+  out.kept_edges = out.spanner.num_edges();
+  return out;
+}
+
+}  // namespace gclus

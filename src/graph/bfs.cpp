@@ -1,0 +1,116 @@
+#include "graph/bfs.hpp"
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "par/parallel_for.hpp"
+
+namespace gclus {
+
+std::vector<Dist> bfs_distances(const Graph& g, NodeId source) {
+  return multi_source_bfs(g, {source});
+}
+
+std::vector<Dist> multi_source_bfs(const Graph& g,
+                                   const std::vector<NodeId>& sources) {
+  const NodeId n = g.num_nodes();
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<NodeId> frontier;
+  frontier.reserve(sources.size());
+  for (const NodeId s : sources) {
+    GCLUS_CHECK(s < n, "BFS source out of range");
+    if (dist[s] == kInfDist) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  Dist level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (dist[v] == kInfDist) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
+                               std::size_t* levels_out) {
+  const NodeId n = g.num_nodes();
+  GCLUS_CHECK(source < n);
+  // Distances double as the visited set; claims race benignly because all
+  // writers of a node in one level write the same value — but we use a CAS
+  // so each node enters `next` exactly once.
+  std::vector<std::atomic<Dist>> dist(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    dist[i].store(kInfDist, std::memory_order_relaxed);
+  });
+  dist[source].store(0, std::memory_order_relaxed);
+
+  std::vector<NodeId> frontier{source};
+  std::size_t levels = 0;
+  const std::size_t workers = pool.num_threads();
+  std::vector<std::vector<NodeId>> local_next(workers);
+
+  while (!frontier.empty()) {
+    ++levels;
+    const Dist next_level = static_cast<Dist>(levels);
+    for (auto& buf : local_next) buf.clear();
+    std::atomic<std::size_t> cursor{0};
+    pool.run_on_workers([&](std::size_t worker) {
+      auto& out = local_next[worker];
+      constexpr std::size_t kGrain = 64;
+      for (;;) {
+        const std::size_t lo =
+            cursor.fetch_add(kGrain, std::memory_order_relaxed);
+        if (lo >= frontier.size()) break;
+        const std::size_t hi = std::min(lo + kGrain, frontier.size());
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (const NodeId v : g.neighbors(frontier[i])) {
+            Dist expected = kInfDist;
+            if (dist[v].compare_exchange_strong(expected, next_level,
+                                                std::memory_order_relaxed)) {
+              out.push_back(v);
+            }
+          }
+        }
+      }
+    });
+    frontier.clear();
+    for (const auto& buf : local_next) {
+      frontier.insert(frontier.end(), buf.begin(), buf.end());
+    }
+  }
+  if (levels_out != nullptr) *levels_out = levels;
+
+  std::vector<Dist> result(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    result[i] = dist[i].load(std::memory_order_relaxed);
+  });
+  return result;
+}
+
+BfsExtremum bfs_extremum(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  BfsExtremum out;
+  out.farthest_node = source;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] == kInfDist) continue;
+    ++out.reached;
+    if (dist[v] > out.eccentricity) {
+      out.eccentricity = dist[v];
+      out.farthest_node = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace gclus

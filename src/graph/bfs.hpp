@@ -1,0 +1,40 @@
+// Breadth-first search kernels: sequential, level-synchronous parallel,
+// and multi-source variants.  These are both building blocks (cluster
+// growth is multi-source BFS at heart) and the exact-answer reference the
+// tests and the BFS diameter baseline rely on.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "par/thread_pool.hpp"
+
+namespace gclus {
+
+/// Hop distances from `source`; kInfDist for unreachable nodes.
+[[nodiscard]] std::vector<Dist> bfs_distances(const Graph& g, NodeId source);
+
+/// Hop distance to the nearest of `sources` (kInfDist if unreachable).
+[[nodiscard]] std::vector<Dist> multi_source_bfs(
+    const Graph& g, const std::vector<NodeId>& sources);
+
+/// Level-synchronous parallel BFS.  Returns the same distances as
+/// bfs_distances; also reports the number of levels (rounds) executed via
+/// `levels_out` when non-null — this is the Θ(Δ)-round cost the paper's
+/// BFS baseline pays in the distributed setting.
+[[nodiscard]] std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g,
+                                             NodeId source,
+                                             std::size_t* levels_out = nullptr);
+
+/// Result of one BFS used for eccentricity-style queries.
+struct BfsExtremum {
+  NodeId farthest_node = kInvalidNode;
+  Dist eccentricity = 0;       // max finite distance from the source
+  std::size_t reached = 0;     // number of reachable nodes (incl. source)
+};
+
+/// Runs BFS from `source` and summarizes the farthest reachable node.
+[[nodiscard]] BfsExtremum bfs_extremum(const Graph& g, NodeId source);
+
+}  // namespace gclus

@@ -1,0 +1,43 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "par/parallel_for.hpp"
+
+namespace gclus {
+
+Graph GraphBuilder::build() {
+  const NodeId n = num_nodes_;
+
+  // Materialize both directions, dropping self-loops.
+  std::vector<Edge> halves;
+  halves.reserve(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    halves.emplace_back(u, v);
+    halves.emplace_back(v, u);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(halves.begin(), halves.end());
+  halves.erase(std::unique(halves.begin(), halves.end()), halves.end());
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : halves) offsets[u + 1]++;
+  for (NodeId u = 0; u < n; ++u) offsets[u + 1] += offsets[u];
+
+  std::vector<NodeId> neighbors(halves.size());
+  parallel_for(0, halves.size(),
+               [&](std::size_t i) { neighbors[i] = halves[i].second; });
+
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph build_graph(NodeId num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder b(num_nodes);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace gclus

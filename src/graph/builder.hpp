@@ -1,0 +1,50 @@
+// Edge-list to CSR construction.
+//
+// The builder accepts arbitrary (possibly duplicated, self-looped,
+// one-directional) edge lists and normalizes them into the Graph
+// invariants: symmetric, sorted, duplicate- and loop-free.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+/// An undirected edge as a pair of endpoints.
+using Edge = std::pair<NodeId, NodeId>;
+
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node-id universe [0, num_nodes).
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Records an undirected edge {u, v}.  Self-loops and duplicates are
+  /// tolerated here and removed in build().
+  void add_edge(NodeId u, NodeId v) {
+    GCLUS_CHECK(u < num_nodes_ && v < num_nodes_, "edge endpoint out of range");
+    edges_.emplace_back(u, v);
+  }
+
+  void add_edges(const std::vector<Edge>& edges) {
+    edges_.reserve(edges_.size() + edges.size());
+    for (const auto& [u, v] : edges) add_edge(u, v);
+  }
+
+  [[nodiscard]] std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Builds the normalized CSR graph, consuming the accumulated edges.
+  [[nodiscard]] Graph build();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// One-shot convenience: normalize `edges` over [0, num_nodes) into a Graph.
+[[nodiscard]] Graph build_graph(NodeId num_nodes,
+                                const std::vector<Edge>& edges);
+
+}  // namespace gclus

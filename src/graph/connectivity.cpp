@@ -1,0 +1,54 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/subgraph.hpp"
+
+namespace gclus {
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components out;
+  out.label.assign(n, kInvalidNode);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (out.label[s] != kInvalidNode) continue;
+    const NodeId comp = out.count++;
+    NodeId size = 0;
+    stack.push_back(s);
+    out.label[s] = comp;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const NodeId v : g.neighbors(u)) {
+        if (out.label[v] == kInvalidNode) {
+          out.label[v] = comp;
+          stack.push_back(v);
+        }
+      }
+    }
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+ExtractedComponent largest_component(const Graph& g) {
+  GCLUS_CHECK(g.num_nodes() > 0);
+  const Components comps = connected_components(g);
+  const NodeId best = static_cast<NodeId>(
+      std::max_element(comps.sizes.begin(), comps.sizes.end()) -
+      comps.sizes.begin());
+  std::vector<NodeId> keep;
+  keep.reserve(comps.sizes[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (comps.label[v] == best) keep.push_back(v);
+  }
+  ExtractedComponent out;
+  out.graph = induced_subgraph(g, keep);
+  out.original_id = std::move(keep);
+  return out;
+}
+
+}  // namespace gclus

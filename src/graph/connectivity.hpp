@@ -1,0 +1,34 @@
+// Connected components and largest-component extraction.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+struct Components {
+  std::vector<NodeId> label;  // per-node component id, in [0, count)
+  NodeId count = 0;
+  /// Component sizes indexed by label.
+  std::vector<NodeId> sizes;
+};
+
+/// Labels connected components (BFS sweep).
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] inline bool is_connected(const Graph& g) {
+  return g.num_nodes() == 0 || connected_components(g).count == 1;
+}
+
+struct ExtractedComponent {
+  Graph graph;
+  /// original node id of each node in `graph` (new id -> old id).
+  std::vector<NodeId> original_id;
+};
+
+/// Induced subgraph on the largest connected component, with relabeling.
+[[nodiscard]] ExtractedComponent largest_component(const Graph& g);
+
+}  // namespace gclus

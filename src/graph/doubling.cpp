@@ -1,0 +1,121 @@
+#include "graph/doubling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/bfs.hpp"
+
+namespace gclus {
+
+namespace {
+
+/// BFS truncated at `limit` hops; returns (node, dist) pairs of the ball.
+std::vector<std::pair<NodeId, Dist>> bounded_ball(const Graph& g,
+                                                  NodeId center, Dist limit) {
+  std::vector<std::pair<NodeId, Dist>> ball;
+  std::vector<Dist> dist(g.num_nodes(), kInfDist);
+  std::vector<NodeId> frontier{center}, next;
+  dist[center] = 0;
+  ball.emplace_back(center, 0);
+  Dist level = 0;
+  while (!frontier.empty() && level < limit) {
+    ++level;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (dist[v] == kInfDist) {
+          dist[v] = level;
+          ball.emplace_back(v, level);
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return ball;
+}
+
+}  // namespace
+
+std::size_t greedy_ball_cover(const Graph& g, NodeId center, Dist radius) {
+  GCLUS_CHECK(center < g.num_nodes());
+  GCLUS_CHECK(radius >= 1);
+  const auto big_ball = bounded_ball(g, center, 2 * radius);
+
+  // Membership mask of the 2R-ball; covered mask filled by R-balls.
+  std::vector<char> in_ball(g.num_nodes(), 0);
+  std::vector<char> covered(g.num_nodes(), 0);
+  for (const auto& [v, d] : big_ball) in_ball[v] = 1;
+
+  std::size_t count = 0;
+  // Greedy: sweep members in BFS order; each uncovered member becomes the
+  // center of a fresh R-ball (restricted BFS marks coverage).
+  std::vector<NodeId> frontier, next;
+  for (const auto& [v, d] : big_ball) {
+    if (covered[v]) continue;
+    ++count;
+    covered[v] = 1;
+    frontier.assign(1, v);
+    Dist level = 0;
+    // Cover everything within R of v — including nodes outside the big
+    // ball is harmless (covering is only checked for members).
+    std::vector<NodeId> touched{v};
+    while (!frontier.empty() && level < radius) {
+      ++level;
+      next.clear();
+      for (const NodeId u : frontier) {
+        for (const NodeId w : g.neighbors(u)) {
+          if (!covered[w]) {
+            covered[w] = 1;
+            touched.push_back(w);
+            next.push_back(w);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    // `covered` doubles as the per-ball visited set; nodes outside the
+    // big ball must be released so later balls can traverse them afresh.
+    for (const NodeId w : touched) {
+      if (!in_ball[w]) covered[w] = 0;
+    }
+  }
+  return count;
+}
+
+DoublingEstimate estimate_doubling_dimension(const Graph& g,
+                                             const DoublingOptions& options) {
+  const NodeId n = g.num_nodes();
+  GCLUS_CHECK(n >= 1);
+  DoublingEstimate out;
+  Rng rng(options.seed);
+
+  Dist max_r = options.max_radius;
+  if (max_r == 0) {
+    // Half the eccentricity of a sampled node bounds useful radii.
+    const auto probe = static_cast<NodeId>(rng.next_below(n));
+    max_r = std::max<Dist>(1, bfs_extremum(g, probe).eccentricity / 2);
+  }
+
+  for (std::size_t s = 0; s < options.center_samples; ++s) {
+    const auto center = static_cast<NodeId>(rng.next_below(n));
+    for (Dist r = 1; r <= max_r; r *= 2) {
+      const std::size_t cover = greedy_ball_cover(g, center, r);
+      const double dim =
+          std::log2(static_cast<double>(std::max<std::size_t>(1, cover)));
+      if (dim > out.dimension) {
+        out.dimension = dim;
+        out.witness_center = center;
+        out.witness_radius = r;
+        out.witness_cover_size = cover;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gclus

@@ -1,0 +1,50 @@
+// Empirical doubling-dimension estimation.
+//
+// The paper's round bounds (Lemma 1, Theorem 4) are parameterized by the
+// doubling dimension b: the smallest integer such that every ball of
+// radius 2R can be covered by 2^b balls of radius R (Definition 2).  The
+// experiments run on graphs "of unknown doubling dimension"; this module
+// estimates b by sampling (center, R) pairs, materializing the 2R-ball,
+// and greedily covering it with R-balls.  Greedy covering is within a
+// small factor of optimal, so the estimate is a useful upper bound on
+// the effective b — e.g. meshes report ~2–3, road networks ~3, expanders
+// and social graphs much larger.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+struct DoublingOptions {
+  std::size_t center_samples = 6;
+  std::uint64_t seed = 1;
+
+  /// Radii tested are powers of two in [1, max_radius]; 0 means "up to
+  /// a sampled eccentricity / 2".
+  Dist max_radius = 0;
+};
+
+struct DoublingEstimate {
+  /// max over tested (v, R) of ceil(log2(#covering balls)).
+  double dimension = 0.0;
+
+  /// The worst (center, radius) pair observed.
+  NodeId witness_center = kInvalidNode;
+  Dist witness_radius = 0;
+  std::size_t witness_cover_size = 0;
+};
+
+/// Estimates the doubling dimension of the connected graph `g`.
+[[nodiscard]] DoublingEstimate estimate_doubling_dimension(
+    const Graph& g, const DoublingOptions& options = {});
+
+/// Greedy cover count for one ball: the number of R-balls (centered at
+/// ball members) a greedy pass needs to cover B(center, 2R).  Exposed for
+/// tests.
+[[nodiscard]] std::size_t greedy_ball_cover(const Graph& g, NodeId center,
+                                            Dist radius);
+
+}  // namespace gclus

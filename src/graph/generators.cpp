@@ -1,0 +1,294 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+
+namespace gclus::gen {
+
+namespace {
+
+/// Packs an edge into one 64-bit key for dedup sets.
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph path(NodeId n) {
+  GCLUS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph cycle(NodeId n) {
+  GCLUS_CHECK(n >= 3, "a cycle needs at least 3 nodes");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return b.build();
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  GCLUS_CHECK(rows >= 1 && cols >= 1);
+  const NodeId n = rows * cols;
+  GraphBuilder b(n);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  GCLUS_CHECK(rows >= 3 && cols >= 3, "torus needs both sides >= 3");
+  const NodeId n = rows * cols;
+  GraphBuilder b(n);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph complete(NodeId n) {
+  GCLUS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph star(NodeId n) {
+  GCLUS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph binary_tree(NodeId n) {
+  GCLUS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const std::uint64_t l = 2ULL * i + 1, r = 2ULL * i + 2;
+    if (l < n) b.add_edge(i, static_cast<NodeId>(l));
+    if (r < n) b.add_edge(i, static_cast<NodeId>(r));
+  }
+  return b.build();
+}
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  GCLUS_CHECK(n >= 1);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) {
+    b.add_edge(i, static_cast<NodeId>(rng.next_below(i)));
+  }
+  return b.build();
+}
+
+Graph erdos_renyi(NodeId n, EdgeId m, std::uint64_t seed) {
+  GCLUS_CHECK(n >= 2);
+  const auto max_edges =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  GCLUS_CHECK(m <= max_edges, "requested more edges than K_n has");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  GraphBuilder b(n);
+  while (seen.size() < m) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph rmat(NodeId n_pow2, EdgeId m, std::uint64_t seed, double a, double b,
+           double c) {
+  GCLUS_CHECK(n_pow2 >= 2 && (n_pow2 & (n_pow2 - 1)) == 0,
+              "R-MAT needs a power-of-two node count");
+  GCLUS_CHECK(a + b + c < 1.0 && a > 0 && b >= 0 && c >= 0);
+  unsigned levels = 0;
+  while ((NodeId{1} << levels) < n_pow2) ++levels;
+
+  Rng rng(seed);
+  GraphBuilder builder(n_pow2);
+  for (EdgeId e = 0; e < m; ++e) {
+    NodeId u = 0, v = 0;
+    for (unsigned l = 0; l < levels; ++l) {
+      const double r = rng.next_double();
+      // Quadrant choice with slight per-level noise, per the original
+      // R-MAT recipe, to avoid pathological degree ties.
+      const double noise = 0.95 + 0.1 * rng.next_double();
+      const double aa = a * noise, bb = b * noise, cc = c * noise;
+      u <<= 1;
+      v <<= 1;
+      if (r < aa) {
+        // top-left: no bits set
+      } else if (r < aa + bb) {
+        v |= 1;
+      } else if (r < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.add_edge(u, v);  // builder dedups and drops self-loops
+  }
+  return builder.build();
+}
+
+Graph preferential_attachment(NodeId n, NodeId attach, std::uint64_t seed) {
+  GCLUS_CHECK(attach >= 1 && n > attach);
+  Rng rng(seed);
+  // `targets` holds one entry per half-edge endpoint, so uniform sampling
+  // from it is degree-proportional sampling.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<std::size_t>(n) * attach * 2);
+  GraphBuilder b(n);
+  // Seed clique over the first attach+1 nodes keeps early sampling sane.
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = u + 1; v <= attach; ++v) {
+      b.add_edge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (NodeId u = attach + 1; u < n; ++u) {
+    std::unordered_set<NodeId> picked;
+    while (picked.size() < attach) {
+      const NodeId v = targets[rng.next_below(targets.size())];
+      if (v != u) picked.insert(v);
+    }
+    for (const NodeId v : picked) {
+      b.add_edge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return b.build();
+}
+
+Graph road_like(NodeId rows, NodeId cols, double drop_p, double shortcut_p,
+                std::uint64_t seed) {
+  GCLUS_CHECK(rows >= 2 && cols >= 2);
+  GCLUS_CHECK(drop_p >= 0.0 && drop_p < 1.0);
+  Rng rng(seed);
+  const NodeId n = rows * cols;
+  GraphBuilder b(n);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols && !rng.next_bool(drop_p)) {
+        b.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && !rng.next_bool(drop_p)) {
+        b.add_edge(id(r, c), id(r + 1, c));
+      }
+      // Occasional diagonal shortcut: mimics road networks' local
+      // triangulation without shrinking the global diameter much.
+      if (r + 1 < rows && c + 1 < cols && rng.next_bool(shortcut_p)) {
+        b.add_edge(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  Graph g = b.build();
+  // Dropping edges fragments the grid; the benchmark datasets are
+  // connected, so keep the giant component only.
+  return largest_component(g).graph;
+}
+
+Graph expander(NodeId n, unsigned degree, std::uint64_t seed) {
+  GCLUS_CHECK(n >= 4);
+  GCLUS_CHECK(degree >= 2 && degree % 2 == 0,
+              "expander degree must be even (union of random cycles)");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (unsigned d = 0; d < degree / 2; ++d) {
+    // Random Hamiltonian cycle: Fisher-Yates shuffle, then link the ring.
+    for (NodeId i = n - 1; i > 0; --i) {
+      const auto j = static_cast<NodeId>(rng.next_below(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      b.add_edge(perm[i], perm[(i + 1) % n]);
+    }
+  }
+  return b.build();
+}
+
+Graph expander_with_path(NodeId n, NodeId tail, unsigned degree,
+                         std::uint64_t seed) {
+  GCLUS_CHECK(tail < n && n - tail >= 4);
+  const NodeId core = n - tail;
+  Graph exp = expander(core, degree, seed);
+  return with_tail(exp, tail, /*attach_at=*/0);
+}
+
+Graph ring_of_cliques(NodeId num_cliques, NodeId clique_size) {
+  GCLUS_CHECK(num_cliques >= 3 && clique_size >= 2);
+  const NodeId n = num_cliques * clique_size;
+  GraphBuilder b(n);
+  for (NodeId k = 0; k < num_cliques; ++k) {
+    const NodeId base = k * clique_size;
+    for (NodeId u = 0; u < clique_size; ++u)
+      for (NodeId v = u + 1; v < clique_size; ++v)
+        b.add_edge(base + u, base + v);
+    // Bridge: last node of clique k to first node of clique k+1.
+    const NodeId next_base = ((k + 1) % num_cliques) * clique_size;
+    b.add_edge(base + clique_size - 1, next_base);
+  }
+  return b.build();
+}
+
+Graph with_tail(const Graph& g, NodeId tail_len, NodeId attach_at) {
+  GCLUS_CHECK(attach_at < g.num_nodes());
+  const NodeId n = g.num_nodes();
+  GraphBuilder b(n + tail_len);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) b.add_edge(u, v);
+    }
+  }
+  NodeId prev = attach_at;
+  for (NodeId i = 0; i < tail_len; ++i) {
+    b.add_edge(prev, n + i);
+    prev = n + i;
+  }
+  return b.build();
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  const NodeId na = a.num_nodes();
+  GraphBuilder builder(na + b.num_nodes());
+  for (NodeId u = 0; u < na; ++u) {
+    for (const NodeId v : a.neighbors(u)) {
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+  for (NodeId u = 0; u < b.num_nodes(); ++u) {
+    for (const NodeId v : b.neighbors(u)) {
+      if (u < v) builder.add_edge(na + u, na + v);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace gclus::gen

@@ -1,0 +1,94 @@
+// Synthetic graph generators.
+//
+// These provide (a) graphs with analytically known structure for tests
+// (paths, grids, trees, cliques), and (b) scaled-down stand-ins for the
+// paper's benchmark datasets (R-MAT / preferential-attachment for the
+// social networks, perturbed geometric grids for the road networks, the
+// 2-D mesh of §6, and the expander+path composite of the §3 discussion).
+// All generators are deterministic functions of their parameters and seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus::gen {
+
+/// Simple path 0-1-…-(n-1).  Diameter n-1.
+[[nodiscard]] Graph path(NodeId n);
+
+/// Cycle on n nodes.  Diameter floor(n/2).
+[[nodiscard]] Graph cycle(NodeId n);
+
+/// rows×cols 2-D grid (4-neighborhood).  Diameter rows+cols-2; doubling
+/// dimension 2 — the paper's mesh1000 construction.
+[[nodiscard]] Graph grid(NodeId rows, NodeId cols);
+
+/// rows×cols 2-D torus (wrap-around grid).
+[[nodiscard]] Graph torus(NodeId rows, NodeId cols);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(NodeId n);
+
+/// Star: center 0 joined to 1..n-1.
+[[nodiscard]] Graph star(NodeId n);
+
+/// Complete binary tree on n nodes (heap-index edges i -> 2i+1, 2i+2).
+[[nodiscard]] Graph binary_tree(NodeId n);
+
+/// Uniform random tree on n nodes via a random Prüfer-like attachment:
+/// node i attaches to a uniform node < i.  Always connected.
+[[nodiscard]] Graph random_tree(NodeId n, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges (rejection-sampled).
+[[nodiscard]] Graph erdos_renyi(NodeId n, EdgeId m, std::uint64_t seed);
+
+/// R-MAT power-law generator (Chakrabarti et al.) with the standard
+/// (a,b,c,d) = (0.57,0.19,0.19,0.05) partition probabilities; edges are
+/// symmetrized and deduplicated, so the result has at most m edges.
+/// Stand-in for the twitter snapshot: heavy-tailed degrees, low diameter.
+[[nodiscard]] Graph rmat(NodeId n_pow2, EdgeId m, std::uint64_t seed,
+                         double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Preferential attachment (Barabási–Albert): each new node attaches to
+/// `attach` existing nodes chosen proportionally to degree.  Connected by
+/// construction.  Stand-in for livejournal.
+[[nodiscard]] Graph preferential_attachment(NodeId n, NodeId attach,
+                                            std::uint64_t seed);
+
+/// Road-network stand-in: a rows×cols grid where each non-bridge edge is
+/// deleted with probability `drop_p` and each node gains a "shortcut" to a
+/// nearby diagonal neighbour with probability `shortcut_p`; the largest
+/// connected component is returned.  Produces a sparse near-planar graph
+/// of very large diameter and low doubling dimension, the regime of the
+/// paper's roads-CA/PA/TX datasets.
+[[nodiscard]] Graph road_like(NodeId rows, NodeId cols, double drop_p,
+                              double shortcut_p, std::uint64_t seed);
+
+/// Random d-regular-ish expander: d random perfect-matching-style
+/// permutation overlays on n nodes (union of d/2 random cycles).  Low
+/// diameter O(log n) and high expansion with high probability.
+[[nodiscard]] Graph expander(NodeId n, unsigned degree, std::uint64_t seed);
+
+/// The §3 discussion construction: an expander on n - tail nodes with a
+/// path of `tail` nodes attached to expander node 0.  Diameter ~ tail,
+/// radius structure highly irregular.
+[[nodiscard]] Graph expander_with_path(NodeId n, NodeId tail, unsigned degree,
+                                       std::uint64_t seed);
+
+/// Ring of `num_cliques` cliques of size `clique_size`, consecutive cliques
+/// joined by a single edge.  Known cluster structure for tests.
+[[nodiscard]] Graph ring_of_cliques(NodeId num_cliques, NodeId clique_size);
+
+/// Figure 1 transform: returns G with a chain of `tail_len` extra nodes
+/// appended to node `attach_at` (default: node 0).  Increases the diameter
+/// by ~tail_len without altering the base structure.
+[[nodiscard]] Graph with_tail(const Graph& g, NodeId tail_len,
+                              NodeId attach_at = 0);
+
+/// Disjoint union of two graphs (node ids of `b` shifted by a.num_nodes()).
+/// The result is disconnected; used by the §3.2 disconnected-graph tests.
+[[nodiscard]] Graph disjoint_union(const Graph& a, const Graph& b);
+
+}  // namespace gclus::gen

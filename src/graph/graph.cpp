@@ -1,0 +1,35 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace gclus {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  GCLUS_CHECK(!offsets_.empty(), "offsets must have n+1 entries");
+  GCLUS_CHECK(offsets_.front() == 0);
+  GCLUS_CHECK(offsets_.back() == neighbors_.size());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+bool Graph::validate() const {
+  const NodeId n = num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    if (offsets_[u] > offsets_[u + 1]) return false;
+    const auto adj = neighbors(u);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const NodeId v = adj[i];
+      if (v >= n) return false;
+      if (v == u) return false;                      // self-loop
+      if (i > 0 && adj[i - 1] >= v) return false;    // unsorted or duplicate
+      if (!has_edge(v, u)) return false;             // asymmetric
+    }
+  }
+  return true;
+}
+
+}  // namespace gclus

@@ -1,0 +1,73 @@
+// Compressed sparse row (CSR) representation of an unweighted, undirected
+// graph — the input domain of every algorithm in the paper.
+//
+// Invariants (established by GraphBuilder and checked in debug builds):
+//   * adjacency lists are sorted and duplicate-free,
+//   * no self-loops,
+//   * symmetry: v appears in adj(u) iff u appears in adj(v).
+// Both directions of each undirected edge are stored, so the adjacency
+// array has 2m entries for m undirected edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace gclus {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays.  `offsets` has n+1 entries;
+  /// `neighbors[offsets[u]..offsets[u+1])` is adj(u), sorted ascending.
+  Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors);
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of *undirected* edges.
+  [[nodiscard]] EdgeId num_edges() const { return neighbors_.size() / 2; }
+
+  /// Number of directed half-edges (CSR entries), i.e. 2·num_edges().
+  [[nodiscard]] EdgeId num_half_edges() const { return neighbors_.size(); }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    GCLUS_DCHECK(u < num_nodes());
+    return static_cast<std::size_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    GCLUS_DCHECK(u < num_nodes());
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  /// True if the (undirected) edge {u, v} exists.  O(log deg(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbor_array() const {
+    return neighbors_;
+  }
+
+  /// Approximate heap footprint in bytes (for the MR global-memory budget).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(EdgeId) +
+           neighbors_.size() * sizeof(NodeId);
+  }
+
+  /// Validates all CSR invariants (sortedness, symmetry, no loops).
+  /// O(m log) — intended for tests and debug assertions, not hot paths.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace gclus

@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace gclus::io {
+
+namespace {
+constexpr std::uint64_t kBinaryMagic = 0x67636c7573763101ULL;  // "gclusv1"+1
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::unordered_map<std::uint64_t, NodeId> compact;
+  std::vector<Edge> edges;
+  std::string line;
+  auto intern = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        compact.emplace(raw, static_cast<NodeId>(compact.size()));
+    (void)inserted;
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) continue;
+    edges.emplace_back(intern(u), intern(v));
+  }
+  GraphBuilder b(static_cast<NodeId>(compact.size()));
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  GCLUS_CHECK(in.good(), "cannot open ", path.c_str());
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  GCLUS_CHECK(out.good(), "cannot open ", path.c_str());
+  write_edge_list(g, out);
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GCLUS_CHECK(out.good(), "cannot open ", path.c_str());
+  const std::uint64_t n = g.num_nodes();
+  const std::uint64_t half_edges = g.num_half_edges();
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof kBinaryMagic);
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&half_edges), sizeof half_edges);
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(EdgeId)));
+  out.write(
+      reinterpret_cast<const char*>(g.neighbor_array().data()),
+      static_cast<std::streamsize>(g.neighbor_array().size() * sizeof(NodeId)));
+  GCLUS_CHECK(out.good(), "write failed for ", path.c_str());
+}
+
+Graph read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GCLUS_CHECK(in.good(), "cannot open ", path.c_str());
+  std::uint64_t magic = 0, n = 0, half_edges = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  GCLUS_CHECK(magic == kBinaryMagic, "not a gclus binary graph: ",
+              path.c_str());
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&half_edges), sizeof half_edges);
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<NodeId> neighbors(half_edges);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
+  GCLUS_CHECK(in.good(), "truncated gclus binary graph: ", path.c_str());
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace gclus::io

@@ -1,0 +1,27 @@
+// Graph serialization: whitespace-separated edge-list text (the format of
+// the SNAP/LAW datasets the paper uses) and a compact binary format for
+// fast reload of generated workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gclus::io {
+
+/// Parses an edge-list stream: one "u v" pair per line; lines starting
+/// with '#' or '%' are comments.  Node ids may be sparse; they are
+/// compacted to [0, n).  The graph is symmetrized and deduplicated.
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+/// Writes "u v" per undirected edge (u < v).
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Binary round-trip: magic, n, m, offsets, neighbors (host endianness).
+void write_binary_file(const Graph& g, const std::string& path);
+[[nodiscard]] Graph read_binary_file(const std::string& path);
+
+}  // namespace gclus::io

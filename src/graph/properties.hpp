@@ -1,0 +1,46 @@
+// Structural graph properties: degree statistics, eccentricities, and
+// exact diameter computation.
+//
+// Exact diameters are needed for the ground-truth column (Δ) of Tables 1,
+// 3 and 4.  We use the iFUB algorithm (Crescenzi et al., TCS 2013 — the
+// paper's reference [10]): a double sweep seeds a lower bound, then
+// BFS runs from nodes in decreasing order of level in a tree rooted at a
+// mid-point until the upper bound meets the lower bound.  On low-diameter
+// social graphs and on road networks alike, iFUB typically terminates
+// after a handful of BFS runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Double sweep: BFS from `start`, then BFS from the farthest node found.
+/// Returns the second eccentricity — a lower bound on the diameter that is
+/// frequently tight in practice.
+[[nodiscard]] Dist double_sweep_lower_bound(const Graph& g, NodeId start = 0);
+
+struct DiameterResult {
+  Dist diameter = 0;
+  std::size_t bfs_runs = 0;  // cost: number of full BFS traversals used
+};
+
+/// Exact diameter of a *connected* graph via iFUB.
+/// `start` seeds the initial double sweep.
+[[nodiscard]] DiameterResult exact_diameter(const Graph& g, NodeId start = 0);
+
+/// Eccentricity of every node (n BFS runs — small graphs/tests only).
+[[nodiscard]] std::vector<Dist> all_eccentricities(const Graph& g);
+
+}  // namespace gclus

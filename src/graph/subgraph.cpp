@@ -1,0 +1,26 @@
+#include "graph/subgraph.hpp"
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace gclus {
+
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> new_id(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    GCLUS_CHECK(nodes[i] < g.num_nodes());
+    GCLUS_CHECK(new_id[nodes[i]] == kInvalidNode, "duplicate node in subset");
+    new_id[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder b(static_cast<NodeId>(nodes.size()));
+  for (const NodeId u : nodes) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (new_id[v] != kInvalidNode && u < v) {
+        b.add_edge(new_id[u], new_id[v]);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace gclus

@@ -1,0 +1,16 @@
+// Induced subgraph extraction with node relabeling.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus {
+
+/// Returns the subgraph induced by `nodes` (must be distinct, in range).
+/// Node i of the result corresponds to nodes[i] of `g`.
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     const std::vector<NodeId>& nodes);
+
+}  // namespace gclus

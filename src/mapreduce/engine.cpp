@@ -1,0 +1,3 @@
+#include "mapreduce/engine.hpp"
+
+// Engine is header-only (templated round); this TU anchors the library.

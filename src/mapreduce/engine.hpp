@@ -1,0 +1,192 @@
+// The round-based MR(M_G, M_L) execution engine.
+//
+// Engine::round() implements exactly one round of the model: the input
+// multiset of key-value pairs is shuffled (hash-partitioned and grouped by
+// key), a user reducer runs once per distinct key over that key's values,
+// and whatever pairs the reducers emit become the round's output.
+//
+// Execution is backed by a thread pool: partitions are processed
+// concurrently, groups within a partition sequentially in sorted key
+// order, which makes every round a deterministic function of its input.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mapreduce/config.hpp"
+#include "par/thread_pool.hpp"
+
+namespace gclus::mr {
+
+/// Collects the pairs a reducer emits during one round.
+template <typename OutK, typename OutV>
+class Emitter {
+ public:
+  explicit Emitter(std::vector<std::pair<OutK, OutV>>& sink) : sink_(sink) {}
+  void emit(OutK key, OutV value) {
+    sink_.emplace_back(std::move(key), std::move(value));
+  }
+
+ private:
+  std::vector<std::pair<OutK, OutV>>& sink_;
+};
+
+class Engine {
+ public:
+  explicit Engine(Config config = {})
+      : config_(config),
+        pool_(config.num_workers == 0 ? nullptr
+                                      : new ThreadPool(config.num_workers)) {}
+
+  ~Engine() { delete pool_; }
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  Metrics& mutable_metrics() { return metrics_; }
+  void reset_metrics() { metrics_.reset(); }
+
+  ThreadPool& pool() {
+    return pool_ != nullptr ? *pool_ : ThreadPool::global();
+  }
+
+  /// Executes one MR round.
+  ///
+  /// `Reduce` is invoked as reduce(const K& key, std::span<V> values,
+  /// Emitter<OutK, OutV>&).  Keys must be totally ordered (operator<) and
+  /// equality-comparable; values arrive in a deterministic order (sorted by
+  /// their original position in `input`).
+  template <typename K, typename V, typename OutK, typename OutV,
+            typename Reduce>
+  std::vector<std::pair<OutK, OutV>> round(std::vector<std::pair<K, V>> input,
+                                           Reduce reduce) {
+    account_round(input.size(), sizeof(std::pair<K, V>));
+
+    const std::size_t num_partitions = std::max<std::size_t>(
+        1, pool().num_threads() * 4);
+
+    // --- Shuffle: stable hash partition by key. ---
+    // Tag each pair with its input position so grouping is reproducible.
+    struct Tagged {
+      K key;
+      V value;
+      std::uint64_t pos;
+    };
+    std::vector<std::vector<Tagged>> parts(num_partitions);
+    for (std::uint64_t i = 0; i < input.size(); ++i) {
+      auto& [k, v] = input[i];
+      const std::size_t p = partition_of(k, num_partitions);
+      parts[p].push_back(Tagged{std::move(k), std::move(v), i});
+    }
+    input.clear();
+    input.shrink_to_fit();
+
+    // --- Reduce: each partition groups its pairs and runs the reducer. ---
+    std::vector<std::vector<std::pair<OutK, OutV>>> outputs(num_partitions);
+    std::atomic<std::size_t> max_group{0};
+    std::atomic<std::size_t> cursor{0};
+    pool().run_on_workers([&](std::size_t) {
+      for (;;) {
+        const std::size_t p = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (p >= num_partitions) break;
+        auto& part = parts[p];
+        std::sort(part.begin(), part.end(),
+                  [](const Tagged& a, const Tagged& b) {
+                    if (a.key < b.key) return true;
+                    if (b.key < a.key) return false;
+                    return a.pos < b.pos;
+                  });
+        Emitter<OutK, OutV> emitter(outputs[p]);
+        std::size_t local_max = 0;
+        std::size_t i = 0;
+        std::vector<V> group;
+        while (i < part.size()) {
+          std::size_t j = i;
+          group.clear();
+          while (j < part.size() &&
+                 !(part[i].key < part[j].key) && !(part[j].key < part[i].key)) {
+            group.push_back(std::move(part[j].value));
+            ++j;
+          }
+          local_max = std::max(local_max, group.size());
+          reduce(part[i].key, std::span<V>(group), emitter);
+          i = j;
+        }
+        std::size_t seen = max_group.load(std::memory_order_relaxed);
+        while (local_max > seen &&
+               !max_group.compare_exchange_weak(seen, local_max,
+                                                std::memory_order_relaxed)) {
+        }
+        part.clear();
+        part.shrink_to_fit();
+      }
+    });
+
+    account_groups(max_group.load());
+
+    // --- Concatenate outputs in partition order (deterministic). ---
+    std::size_t total = 0;
+    for (const auto& o : outputs) total += o.size();
+    std::vector<std::pair<OutK, OutV>> result;
+    result.reserve(total);
+    for (auto& o : outputs) {
+      std::move(o.begin(), o.end(), std::back_inserter(result));
+    }
+    return result;
+  }
+
+  /// Convenience: same key/value types in and out.
+  template <typename K, typename V, typename Reduce>
+  std::vector<std::pair<K, V>> round_kv(std::vector<std::pair<K, V>> input,
+                                        Reduce reduce) {
+    return round<K, V, K, V>(std::move(input), std::move(reduce));
+  }
+
+ private:
+  template <typename K>
+  static std::size_t partition_of(const K& key, std::size_t num_partitions) {
+    if constexpr (std::is_integral_v<K>) {
+      return static_cast<std::size_t>(
+          mix64(static_cast<std::uint64_t>(key)) % num_partitions);
+    } else {
+      return std::hash<K>{}(key) % num_partitions;
+    }
+  }
+
+  void account_round(std::size_t pairs, std::size_t pair_bytes) {
+    ++metrics_.rounds;
+    metrics_.pairs_shuffled += pairs;
+    metrics_.bytes_shuffled += static_cast<std::uint64_t>(pairs) * pair_bytes;
+    metrics_.max_round_pairs =
+        std::max<std::uint64_t>(metrics_.max_round_pairs, pairs);
+    metrics_.simulated_latency_s += config_.per_round_latency_s;
+    if (pairs > config_.global_memory_pairs) {
+      metrics_.global_memory_exceeded = true;
+      GCLUS_CHECK(!config_.strict, "MR global memory (M_G) exceeded: ", pairs,
+                  " pairs > ", config_.global_memory_pairs);
+    }
+  }
+
+  void account_groups(std::size_t max_group) {
+    metrics_.max_reducer_pairs =
+        std::max(metrics_.max_reducer_pairs, max_group);
+    if (max_group > config_.local_memory_pairs) {
+      metrics_.local_memory_exceeded = true;
+      GCLUS_CHECK(!config_.strict, "MR local memory (M_L) exceeded: ",
+                  max_group, " pairs > ", config_.local_memory_pairs);
+    }
+  }
+
+  Config config_;
+  Metrics metrics_;
+  ThreadPool* pool_;  // owned iff non-null; else the global pool is used
+};
+
+}  // namespace gclus::mr

@@ -1,0 +1,3 @@
+#include "mapreduce/superstep.hpp"
+
+// Header-only templates; this TU anchors the library.

@@ -1,0 +1,3 @@
+#include "par/parallel_for.hpp"
+
+// Header-only templates; this TU anchors the static library.

@@ -1,0 +1,142 @@
+// Data-parallel loop and reduction primitives on top of ThreadPool.
+//
+// Scheduling is guided self-scheduling: workers pull chunks of the index
+// space from a shared atomic cursor.  Chunk size defaults to a value that
+// amortizes the atomic while keeping tail imbalance small for irregular
+// per-item cost (frontier expansion, per-node degree work).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace gclus {
+
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+/// Invokes body(i) for i in [begin, end) across the pool's workers.
+/// The body must not throw.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const Body& body, std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (pool.num_threads() == 1 || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{begin};
+  pool.run_on_workers([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + grain < end ? lo + grain : end;
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+  });
+}
+
+/// parallel_for on the process-global pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = kDefaultGrain) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+
+/// Chunked variant: body(lo, hi) receives whole ranges.  Preferred when the
+/// body wants to keep per-chunk scratch state (thread-local accumulators).
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const Body& body, std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (pool.num_threads() == 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  std::atomic<std::size_t> cursor{begin};
+  pool.run_on_workers([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + grain < end ? lo + grain : end;
+      body(lo, hi);
+    }
+  });
+}
+
+/// Parallel reduction: combine(acc, map(i)) over [begin, end) with identity
+/// `init`.  `combine` must be associative; evaluation order is unspecified.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
+                  const Map& map, const Combine& combine,
+                  std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return init;
+  const std::size_t n = end - begin;
+  if (pool.num_threads() == 1 || n <= grain) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::vector<T> partial(pool.num_threads(), init);
+  std::atomic<std::size_t> cursor{begin};
+  pool.run_on_workers([&](std::size_t worker) {
+    T acc = init;
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + grain < end ? lo + grain : end;
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    }
+    partial[worker] = acc;
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, const Map& map,
+                  const Combine& combine, std::size_t grain = kDefaultGrain) {
+  return parallel_reduce(ThreadPool::global(), begin, end, init, map, combine,
+                         grain);
+}
+
+/// Sum of map(i) over [begin, end).
+template <typename T, typename Map>
+T parallel_sum(ThreadPool& pool, std::size_t begin, std::size_t end,
+               const Map& map, std::size_t grain = kDefaultGrain) {
+  return parallel_reduce(
+      pool, begin, end, T{}, map, [](T a, T b) { return a + b; }, grain);
+}
+
+/// Atomic fetch-min for unsigned integral types: lowers `target` to `value`
+/// if smaller.  Returns true if this call performed the update.
+template <typename T>
+bool atomic_fetch_min(std::atomic<T>& target, T value) {
+  T cur = target.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Exclusive prefix sum of `values` in place; returns the grand total.
+/// Sequential: prefix sizes in this library are O(#clusters) or O(#workers),
+/// never the hot path.  (The MR engine has its own round-counted primitive.)
+template <typename T>
+T exclusive_prefix_sum(std::vector<T>& values) {
+  T total{};
+  for (auto& v : values) {
+    const T next = total + v;
+    v = total;
+    total = next;
+  }
+  return total;
+}
+
+}  // namespace gclus

@@ -1,0 +1,104 @@
+#include "workloads/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace gclus::workloads {
+
+namespace {
+
+constexpr std::uint64_t kDatasetSeed = 0xD5EEDULL;
+
+NodeId scaled(NodeId base) {
+  return std::max<NodeId>(64, static_cast<NodeId>(base * workload_scale()));
+}
+
+NodeId scaled_side(NodeId base) {
+  return std::max<NodeId>(
+      8, static_cast<NodeId>(base * std::sqrt(workload_scale())));
+}
+
+/// Next power of two >= x (R-MAT wants a power-of-two universe).
+NodeId pow2_at_least(NodeId x) {
+  NodeId p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+Graph connected(Graph g) { return largest_component(g).graph; }
+
+}  // namespace
+
+double workload_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("GCLUS_WORKLOAD_SCALE")) {
+      const double v = std::strtod(env, nullptr);
+      if (v > 0.0) return std::clamp(v, 0.05, 64.0);
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = {
+      "social-large", "social-small", "road-a", "road-b", "road-c", "mesh"};
+  return names;
+}
+
+Dataset load_dataset(const std::string& name) {
+  Dataset d;
+  d.name = name;
+  if (name == "social-large") {
+    d.paper_name = "twitter";
+    const NodeId n = pow2_at_least(scaled(65536));
+    d.graph = connected(
+        gen::rmat(n, static_cast<EdgeId>(n) * 14, kDatasetSeed ^ 0x1));
+  } else if (name == "social-small") {
+    d.paper_name = "livejournal";
+    d.graph = connected(
+        gen::preferential_attachment(scaled(40000), 3, kDatasetSeed ^ 0x2));
+  } else if (name == "road-a") {
+    d.paper_name = "roads-CA";
+    d.large_diameter = true;
+    d.graph = gen::road_like(scaled_side(220), scaled_side(220), 0.08, 0.02,
+                             kDatasetSeed ^ 0x3);
+  } else if (name == "road-b") {
+    d.paper_name = "roads-PA";
+    d.large_diameter = true;
+    d.graph = gen::road_like(scaled_side(180), scaled_side(180), 0.08, 0.02,
+                             kDatasetSeed ^ 0x4);
+  } else if (name == "road-c") {
+    d.paper_name = "roads-TX";
+    d.large_diameter = true;
+    d.graph = gen::road_like(scaled_side(200), scaled_side(200), 0.12, 0.02,
+                             kDatasetSeed ^ 0x5);
+  } else if (name == "mesh") {
+    d.paper_name = "mesh1000";
+    d.large_diameter = true;
+    const NodeId side = scaled_side(250);
+    d.graph = gen::grid(side, side);
+  } else {
+    GCLUS_CHECK(false, "unknown dataset: ", name);
+  }
+  return d;
+}
+
+std::vector<Dataset> load_all_datasets() {
+  std::vector<Dataset> out;
+  out.reserve(dataset_names().size());
+  for (const auto& name : dataset_names()) out.push_back(load_dataset(name));
+  return out;
+}
+
+Graph make_expander_path(NodeId n) {
+  const auto tail = static_cast<NodeId>(std::sqrt(static_cast<double>(n)));
+  return gen::expander_with_path(n, tail, /*degree=*/4, kDatasetSeed ^ 0x6);
+}
+
+}  // namespace gclus::workloads

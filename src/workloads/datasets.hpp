@@ -1,0 +1,50 @@
+// The benchmark dataset registry: scaled-down synthetic stand-ins for the
+// paper's Table-1 graphs (see DESIGN.md §3 for the substitution
+// rationale).  Every dataset is connected, deterministic for a given
+// scale, and tagged with the paper dataset it models.
+//
+//   name          paper dataset   regime
+//   social-large  twitter         power-law, low diameter, high expansion
+//   social-small  livejournal     power-law, low diameter
+//   road-a        roads-CA        sparse near-planar, huge diameter
+//   road-b        roads-PA        sparse near-planar, huge diameter
+//   road-c        roads-TX        sparse near-planar, huge diameter
+//   mesh          mesh1000        2-D grid, doubling dimension 2
+//
+// Scale: the GCLUS_WORKLOAD_SCALE environment variable (default 1.0)
+// multiplies node counts (linearly; grid sides scale by √s) so the same
+// harness can run anywhere from smoke-test to full-size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gclus::workloads {
+
+struct Dataset {
+  std::string name;
+  std::string paper_name;
+  Graph graph;
+  bool large_diameter = false;  // drives granularity choices (§6.1)
+};
+
+/// Names in canonical (paper Table 1) order.
+[[nodiscard]] const std::vector<std::string>& dataset_names();
+
+/// Builds a dataset by name at the environment-configured scale.
+[[nodiscard]] Dataset load_dataset(const std::string& name);
+
+/// Builds every dataset, in canonical order.
+[[nodiscard]] std::vector<Dataset> load_all_datasets();
+
+/// The §3-discussion composite used by the batch-policy ablation:
+/// a 4-regular expander with a √n-node path attached.
+[[nodiscard]] Graph make_expander_path(NodeId n = 16384);
+
+/// Current scale factor (GCLUS_WORKLOAD_SCALE, default 1.0, clamped to
+/// [0.05, 64]).
+[[nodiscard]] double workload_scale();
+
+}  // namespace gclus::workloads

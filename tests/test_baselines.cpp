@@ -1,0 +1,166 @@
+// Tests for the baseline decompositions: MPX (validity, determinism,
+// radius bound, β monotonicity and tuning) and one-shot random centers
+// (validity, the radius pathology CLUSTER avoids).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/mpx.hpp"
+#include "baselines/random_centers.hpp"
+#include "core/cluster.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace gclus::baselines {
+namespace {
+
+class MpxPropertyTest : public ::testing::TestWithParam<testutil::NamedGraph> {
+};
+
+TEST_P(MpxPropertyTest, ValidPartitionWithinRadiusBound) {
+  const auto& [name, graph] = GetParam();
+  MpxOptions opts;
+  opts.seed = 7;
+  const double beta = 0.5;
+  const Clustering c = mpx(graph, beta, opts);
+  EXPECT_TRUE(c.validate(graph)) << name;
+  // MPX radius bound: O(log n / β) whp.  Constant 8 is generous.
+  const double logn =
+      std::max(2.0, std::log(static_cast<double>(graph.num_nodes())));
+  EXPECT_LE(c.max_radius(), 8.0 * logn / beta) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MpxPropertyTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(Mpx, DeterministicAcrossThreadCounts) {
+  const Graph g = gen::road_like(25, 25, 0.08, 0.02, 5);
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    MpxOptions opts;
+    opts.seed = 13;
+    opts.pool = &pool;
+    return mpx(g, 0.3, opts);
+  };
+  const Clustering a = run(1);
+  const Clustering b = run(4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+}
+
+TEST(Mpx, ClusterCountGrowsWithBeta) {
+  const Graph g = gen::grid(40, 40);
+  MpxOptions opts;
+  opts.seed = 3;
+  const auto k_small = mpx(g, 0.05, opts).num_clusters();
+  const auto k_large = mpx(g, 2.0, opts).num_clusters();
+  EXPECT_LT(k_small, k_large);
+}
+
+TEST(Mpx, RadiusShrinksWithBeta) {
+  const Graph g = gen::grid(40, 40);
+  MpxOptions opts;
+  opts.seed = 3;
+  const Dist r_small_beta = mpx(g, 0.05, opts).max_radius();
+  const Dist r_large_beta = mpx(g, 2.0, opts).max_radius();
+  EXPECT_GE(r_small_beta, r_large_beta);
+}
+
+TEST(Mpx, TuneBetaReachesTargetClusterCount) {
+  const Graph g = gen::grid(30, 30);
+  MpxOptions opts;
+  opts.seed = 11;
+  const ClusterId target = 25;
+  const double beta = mpx_tune_beta(g, target, opts);
+  const Clustering c = mpx(g, beta, opts);
+  EXPECT_GE(c.num_clusters(), target);
+  // The tuned beta should not overshoot absurdly (>20x the target).
+  EXPECT_LE(c.num_clusters(), 20u * target);
+}
+
+TEST(Mpx, DisconnectedGraphSafetyValve) {
+  const Graph g = gen::disjoint_union(gen::path(30), gen::grid(6, 6));
+  const Clustering c = mpx(g, 0.4, {});
+  EXPECT_TRUE(c.validate(g));
+}
+
+TEST(MpxDeathTest, RejectsNonPositiveBeta) {
+  const Graph g = gen::path(8);
+  EXPECT_DEATH((void)mpx(g, 0.0, {}), "beta");
+}
+
+class RandomCentersTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(RandomCentersTest, ValidPartitionWithRequestedCenters) {
+  const auto& [name, graph] = GetParam();
+  const NodeId k = std::min<NodeId>(10, graph.num_nodes());
+  RandomCentersOptions opts;
+  opts.seed = 17;
+  const Clustering c = random_centers_clustering(graph, k, opts);
+  EXPECT_TRUE(c.validate(graph)) << name;
+  EXPECT_GE(c.num_clusters(), k) << name;  // fallbacks may add more
+  EXPECT_LE(c.num_clusters(), k + 2) << name;  // connected: none expected
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RandomCentersTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(RandomCenters, Deterministic) {
+  const Graph g = gen::grid(20, 20);
+  RandomCentersOptions opts;
+  opts.seed = 23;
+  const Clustering a = random_centers_clustering(g, 8, opts);
+  const Clustering b = random_centers_clustering(g, 8, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(RandomCenters, MatchedGranularityComparisonOnExpanderPath) {
+  // The §3 discussion setting.  At unit-test scale the statistical
+  // separation between strategies is not reliable enough for a hard
+  // inequality (that comparison lives in bench/ablation_batch_policy at
+  // full size); here we check both produce valid partitions at matched
+  // granularity and CLUSTER is never pathologically worse.
+  const Graph g = gen::expander_with_path(4096, 512, 4, 3);
+  ClusterOptions copts;
+  copts.seed = 29;
+  const Clustering ours = cluster(g, 8, copts);
+  RandomCentersOptions ropts;
+  ropts.seed = 29;
+  const Clustering theirs =
+      random_centers_clustering(g, ours.num_clusters(), ropts);
+  EXPECT_TRUE(ours.validate(g));
+  EXPECT_TRUE(theirs.validate(g));
+  EXPECT_EQ(theirs.num_clusters(), ours.num_clusters());
+  EXPECT_LE(ours.max_radius(), 2 * theirs.max_radius() + 8)
+      << "CLUSTER far worse than one-shot random centers: regression";
+  ::testing::Test::RecordProperty(
+      "radius_ratio_random_over_cluster",
+      static_cast<double>(theirs.max_radius()) /
+          std::max<Dist>(1, ours.max_radius()));
+}
+
+TEST(RandomCenters, DisconnectedFallback) {
+  const Graph g = gen::disjoint_union(gen::path(40), gen::path(3));
+  RandomCentersOptions opts;
+  opts.seed = 31;
+  const Clustering c = random_centers_clustering(g, 2, opts);
+  EXPECT_TRUE(c.validate(g));
+}
+
+}  // namespace
+}  // namespace gclus::baselines

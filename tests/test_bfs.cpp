@@ -1,0 +1,117 @@
+// Tests for the BFS kernels: sequential reference behavior, the parallel
+// level-synchronous variant (swept across worker counts and corpus
+// graphs), and multi-source distances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = gen::path(6);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, DistancesFromMiddleOfPath) {
+  const Graph g = gen::path(7);
+  const auto d = bfs_distances(g, 3);
+  const std::vector<Dist> expected{3, 2, 1, 0, 1, 2, 3};
+  EXPECT_EQ(d, expected);
+}
+
+TEST(Bfs, UnreachableNodesAreInfinite) {
+  const Graph g = gen::disjoint_union(gen::path(3), gen::path(3));
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], kInfDist);
+  EXPECT_EQ(d[5], kInfDist);
+}
+
+TEST(Bfs, GridDistancesAreManhattan) {
+  const Graph g = gen::grid(8, 9);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId r = 0; r < 8; ++r) {
+    for (NodeId c = 0; c < 9; ++c) {
+      EXPECT_EQ(d[r * 9 + c], r + c);
+    }
+  }
+}
+
+TEST(MultiSourceBfs, NearestSourceWins) {
+  const Graph g = gen::path(10);
+  const auto d = multi_source_bfs(g, {0, 9});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[9], 0u);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[5], 4u);
+}
+
+TEST(MultiSourceBfs, DuplicateSourcesTolerated) {
+  const Graph g = gen::cycle(8);
+  const auto d = multi_source_bfs(g, {2, 2, 2});
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[6], 4u);
+}
+
+TEST(BfsExtremum, FindsFarthestNode) {
+  const Graph g = gen::path(20);
+  const auto e = bfs_extremum(g, 3);
+  EXPECT_EQ(e.eccentricity, 16u);
+  EXPECT_EQ(e.farthest_node, 19u);
+  EXPECT_EQ(e.reached, 20u);
+}
+
+TEST(BfsExtremum, SingletonGraph) {
+  const Graph g = gen::path(1);
+  const auto e = bfs_extremum(g, 0);
+  EXPECT_EQ(e.eccentricity, 0u);
+  EXPECT_EQ(e.farthest_node, 0u);
+  EXPECT_EQ(e.reached, 1u);
+}
+
+struct ParallelBfsParam {
+  std::size_t threads;
+  std::size_t corpus_index;
+};
+
+class ParallelBfsTest : public ::testing::TestWithParam<ParallelBfsParam> {};
+
+TEST_P(ParallelBfsTest, MatchesSequentialBfs) {
+  const auto corpus = testutil::small_connected_corpus();
+  const auto& [name, graph] = corpus.at(GetParam().corpus_index);
+  ThreadPool pool(GetParam().threads);
+  std::size_t levels = 0;
+  const auto par = parallel_bfs(pool, graph, 0, &levels);
+  const auto seq = bfs_distances(graph, 0);
+  EXPECT_EQ(par, seq) << name;
+  // Levels = eccentricity of the source + 1 trailing empty check.
+  const Dist ecc = *std::max_element(seq.begin(), seq.end());
+  EXPECT_GE(levels, ecc);
+}
+
+std::vector<ParallelBfsParam> parallel_bfs_params() {
+  std::vector<ParallelBfsParam> params;
+  const std::size_t corpus_size = testutil::small_connected_corpus().size();
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    for (std::size_t i = 0; i < corpus_size; ++i) {
+      params.push_back({threads, i});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelBfsTest, ::testing::ValuesIn(parallel_bfs_params()),
+    [](const ::testing::TestParamInfo<ParallelBfsParam>& info) {
+      return "t" + std::to_string(info.param.threads) + "_g" +
+             std::to_string(info.param.corpus_index);
+    });
+
+}  // namespace
+}  // namespace gclus

@@ -1,0 +1,190 @@
+// Tests for CLUSTER(τ) — Algorithm 1.  Validity and determinism are
+// checked on every corpus graph across τ and seeds; the Theorem-1 cluster
+// count bound, the Lemma-1 radius behavior, and §3.2's disconnected-graph
+// handling get dedicated cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cluster.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+struct ClusterParam {
+  std::size_t corpus_index;
+  std::uint32_t tau;
+  std::uint64_t seed;
+};
+
+class ClusterPropertyTest : public ::testing::TestWithParam<ClusterParam> {};
+
+TEST_P(ClusterPropertyTest, ProducesValidPartitionWithBoundedCount) {
+  const auto corpus = testutil::small_connected_corpus();
+  const auto& [name, graph] = corpus.at(GetParam().corpus_index);
+  ClusterOptions opts;
+  opts.seed = GetParam().seed;
+  const Clustering c = cluster(graph, GetParam().tau, opts);
+
+  EXPECT_TRUE(c.validate(graph)) << name;
+
+  // Radius can never exceed the diameter.
+  const Dist diam = testutil::brute_force_diameter(graph);
+  EXPECT_LE(c.max_radius(), diam) << name;
+
+  // Theorem 1: O(τ·log²n) clusters.  The constant hidden by the O is
+  // 4·(stop-threshold slack); 40 is a generous-but-meaningful ceiling
+  // that catches regressions to near-singleton behavior.
+  const double logn =
+      std::max(1.0, std::log2(static_cast<double>(graph.num_nodes())));
+  const double bound = 40.0 * GetParam().tau * logn * logn;
+  EXPECT_LE(c.num_clusters(), bound) << name;
+
+  // Growth accounting is consistent.
+  EXPECT_GE(c.growth_steps, c.max_radius());
+}
+
+std::vector<ClusterParam> cluster_params() {
+  std::vector<ClusterParam> params;
+  const std::size_t corpus_size = testutil::small_connected_corpus().size();
+  for (std::size_t g = 0; g < corpus_size; ++g) {
+    for (const std::uint32_t tau : {1u, 2u, 8u}) {
+      params.push_back({g, tau, 1});
+    }
+    params.push_back({g, 4, 999});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterPropertyTest, ::testing::ValuesIn(cluster_params()),
+    [](const ::testing::TestParamInfo<ClusterParam>& info) {
+      return "g" + std::to_string(info.param.corpus_index) + "_tau" +
+             std::to_string(info.param.tau) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Cluster, DeterministicAcrossThreadCounts) {
+  const Graph g = gen::road_like(30, 30, 0.08, 0.02, 5);
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    ClusterOptions opts;
+    opts.seed = 7;
+    opts.pool = &pool;
+    return cluster(g, 4, opts);
+  };
+  const Clustering a = run(1);
+  const Clustering b = run(2);
+  const Clustering c = run(4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.assignment, c.assignment);
+  EXPECT_EQ(a.dist_to_center, c.dist_to_center);
+  EXPECT_EQ(a.centers, c.centers);
+}
+
+TEST(Cluster, DifferentSeedsGiveDifferentClusterings) {
+  const Graph g = gen::grid(30, 30);
+  ClusterOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const Clustering a = cluster(g, 4, o1);
+  const Clustering b = cluster(g, 4, o2);
+  EXPECT_NE(a.assignment, b.assignment);
+}
+
+TEST(Cluster, LargerTauNotMuchLargerRadius) {
+  // Radius is (stochastically) non-increasing in τ; allow slack but catch
+  // gross inversions on a long path where the effect is strong.
+  const Graph g = gen::path(2000);
+  ClusterOptions opts;
+  opts.seed = 3;
+  const Dist r_small = cluster(g, 1, opts).max_radius();
+  const Dist r_large = cluster(g, 16, opts).max_radius();
+  EXPECT_LE(r_large, r_small);
+}
+
+TEST(Cluster, TinyGraphDegeneratesToSingletons) {
+  // n < 8·τ·log n: the loop body never runs; every node is a singleton.
+  const Graph g = gen::path(10);
+  const Clustering c = cluster(g, 4);
+  EXPECT_EQ(c.num_clusters(), 10u);
+  EXPECT_EQ(c.max_radius(), 0u);
+  EXPECT_TRUE(c.validate(g));
+}
+
+TEST(Cluster, CoversExpanderPathCompositeTightly) {
+  // The §3 discussion: on expander+path, batched activation keeps the
+  // radius near polylog instead of the Θ(√n) path length.
+  const Graph g = gen::expander_with_path(2048, 256, 4, 9);
+  ClusterOptions opts;
+  opts.seed = 4;
+  const Clustering c = cluster(g, 32, opts);
+  EXPECT_TRUE(c.validate(g));
+  const Dist diam = exact_diameter(g).diameter;  // >= 256
+  EXPECT_LT(c.max_radius(), diam / 2) << "radius should beat the tail";
+}
+
+TEST(Cluster, DisconnectedGraphIsHandled) {
+  const Graph g = gen::disjoint_union(gen::grid(12, 12),
+                                      gen::cycle(60));
+  const Clustering c = cluster(g, 4);
+  EXPECT_TRUE(c.validate(g));
+  // No cluster may span components.
+  const Components comps = connected_components(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(comps.label[v],
+              comps.label[c.centers[c.assignment[v]]]);
+  }
+}
+
+TEST(Cluster, ManySmallComponents) {
+  Graph g = gen::disjoint_union(gen::path(7), gen::path(7));
+  for (int i = 0; i < 4; ++i) g = gen::disjoint_union(g, gen::path(7));
+  const Clustering c = cluster(g, 6, {});
+  EXPECT_TRUE(c.validate(g));
+}
+
+TEST(Cluster, SingleNodeGraph) {
+  const Graph g = gen::path(1);
+  const Clustering c = cluster(g, 1);
+  EXPECT_EQ(c.num_clusters(), 1u);
+  EXPECT_TRUE(c.validate(g));
+}
+
+TEST(ClusterDeathTest, RejectsTauZero) {
+  const Graph g = gen::path(4);
+  EXPECT_DEATH((void)cluster(g, 0), "tau");
+}
+
+TEST(SelectionProbability, MatchesFormulaAndClamps) {
+  // p = c·τ·log2(n)/uncovered, clamped at 1.
+  EXPECT_DOUBLE_EQ(cluster_selection_probability(2, 1024, 1000, 4.0),
+                   4.0 * 2 * 10 / 1000.0);
+  EXPECT_DOUBLE_EQ(cluster_selection_probability(100, 1024, 10, 4.0), 1.0);
+}
+
+TEST(Cluster, IterationCountIsLogarithmic) {
+  const Graph g = gen::grid(50, 50);
+  const Clustering c = cluster(g, 2);
+  // At most ~log2(n) + slack iterations (uncovered halves each time).
+  EXPECT_LE(c.iterations,
+            2 * static_cast<std::size_t>(
+                    std::log2(static_cast<double>(g.num_nodes()))) + 4);
+}
+
+TEST(Cluster, ClusterCountGrowsWithTau) {
+  const Graph g = gen::grid(40, 40);
+  ClusterOptions opts;
+  opts.seed = 6;
+  const auto k1 = cluster(g, 1, opts).num_clusters();
+  const auto k8 = cluster(g, 8, opts).num_clusters();
+  EXPECT_GT(k8, k1);
+}
+
+}  // namespace
+}  // namespace gclus

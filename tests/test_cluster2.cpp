@@ -1,0 +1,117 @@
+// Tests for CLUSTER2(τ) — Algorithm 2: validity across the corpus, the
+// Lemma-2 radius bound R_ALG2 <= 2·R_ALG·log n, growth-quota behavior,
+// and the cluster count relation to CLUSTER.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cluster2.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+class Cluster2PropertyTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(Cluster2PropertyTest, ValidPartitionWithinLemma2Bounds) {
+  const auto& [name, graph] = GetParam();
+  ClusterOptions opts;
+  opts.seed = 11;
+  const Cluster2Result r = cluster2(graph, 2, opts);
+  EXPECT_TRUE(r.clustering.validate(graph)) << name;
+
+  // Lemma 2: R_ALG2 <= 2·R_ALG·log n.  The implementation enforces the
+  // per-iteration quota, so this holds deterministically (with the quota
+  // floor of one step for R_ALG = 0).
+  const double logn =
+      std::max(1.0, std::log2(static_cast<double>(graph.num_nodes())));
+  const double quota = std::max<double>(1.0, 2.0 * r.r_alg);
+  EXPECT_LE(r.clustering.max_radius(), quota * logn) << name;
+
+  // The preliminary run contributes its growth steps to the accounting.
+  EXPECT_GE(r.prelim_growth_steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Cluster2PropertyTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(Cluster2, DeterministicForSeed) {
+  const Graph g = gen::grid(30, 30);
+  ClusterOptions opts;
+  opts.seed = 21;
+  const Cluster2Result a = cluster2(g, 2, opts);
+  const Cluster2Result b = cluster2(g, 2, opts);
+  EXPECT_EQ(a.clustering.assignment, b.clustering.assignment);
+  EXPECT_EQ(a.r_alg, b.r_alg);
+}
+
+TEST(Cluster2, DeterministicAcrossThreadCounts) {
+  const Graph g = gen::road_like(22, 22, 0.08, 0.02, 9);
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    ClusterOptions opts;
+    opts.seed = 31;
+    opts.pool = &pool;
+    return cluster2(g, 2, opts);
+  };
+  const Cluster2Result a = run(1);
+  const Cluster2Result b = run(4);
+  EXPECT_EQ(a.clustering.assignment, b.clustering.assignment);
+  EXPECT_EQ(a.clustering.dist_to_center, b.clustering.dist_to_center);
+}
+
+TEST(Cluster2, ProducesMoreClustersThanClusterAlone) {
+  // Lemma 2 allows an extra log² factor; at minimum CLUSTER2 should not
+  // collapse to trivially few clusters on a large-diameter graph.
+  const Graph g = gen::grid(40, 40);
+  ClusterOptions opts;
+  opts.seed = 41;
+  const Cluster2Result r2 = cluster2(g, 2, opts);
+  EXPECT_GE(r2.clustering.num_clusters(), 2u);
+}
+
+TEST(Cluster2, FullCoverageOnAwkwardSizes) {
+  // Non-power-of-two n exercises the final-iteration probability clamp and
+  // the post-loop singleton sweep.
+  for (const NodeId n : {3u, 5u, 17u, 100u, 1021u}) {
+    const Graph g = gen::path(n);
+    const Cluster2Result r = cluster2(g, 1, {});
+    EXPECT_TRUE(r.clustering.validate(g)) << "n=" << n;
+  }
+}
+
+TEST(Cluster2, SingleNodeGraph) {
+  const Graph g = gen::path(1);
+  const Cluster2Result r = cluster2(g, 1, {});
+  EXPECT_EQ(r.clustering.num_clusters(), 1u);
+  EXPECT_TRUE(r.clustering.validate(g));
+}
+
+TEST(Cluster2DeathTest, RejectsTauZero) {
+  const Graph g = gen::path(4);
+  EXPECT_DEATH((void)cluster2(g, 0, {}), "tau");
+}
+
+TEST(Cluster2, RadiusRespectsQuotaTimesIterations) {
+  // Any single cluster's radius is at most quota · (#iterations since its
+  // activation); globally, quota · iterations.
+  const Graph g = gen::grid(32, 32);
+  ClusterOptions opts;
+  opts.seed = 51;
+  const Cluster2Result r = cluster2(g, 2, opts);
+  const std::size_t quota = std::max<std::size_t>(1, 2 * r.r_alg);
+  EXPECT_LE(r.clustering.max_radius(),
+            quota * r.clustering.iterations);
+}
+
+}  // namespace
+}  // namespace gclus

@@ -1,0 +1,69 @@
+// Tests for connected components and largest-component extraction.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace gclus {
+namespace {
+
+TEST(ConnectedComponents, SingleComponent) {
+  const Graph g = gen::cycle(10);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_EQ(c.sizes[0], 10u);
+  for (const NodeId label : c.label) EXPECT_EQ(label, 0u);
+}
+
+TEST(ConnectedComponents, TwoComponents) {
+  const Graph g = gen::disjoint_union(gen::path(4), gen::cycle(6));
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.sizes[0] + c.sizes[1], 10u);
+  EXPECT_NE(c.label[0], c.label[4]);
+  EXPECT_EQ(c.label[4], c.label[9]);
+}
+
+TEST(ConnectedComponents, IsolatedNodesAreSingletons) {
+  const Graph g = build_graph(5, {{0, 1}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);  // {0,1}, {2}, {3}, {4}
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_TRUE(is_connected(gen::path(5)));
+  EXPECT_FALSE(is_connected(gen::disjoint_union(gen::path(2), gen::path(2))));
+  EXPECT_TRUE(is_connected(build_graph(1, {})));
+}
+
+TEST(LargestComponent, PicksTheBiggerSide) {
+  const Graph g = gen::disjoint_union(gen::path(3), gen::cycle(8));
+  const ExtractedComponent ex = largest_component(g);
+  EXPECT_EQ(ex.graph.num_nodes(), 8u);
+  EXPECT_EQ(ex.graph.num_edges(), 8u);
+  EXPECT_EQ(ex.original_id.size(), 8u);
+  // Original ids of the cycle side are 3..10.
+  for (const NodeId orig : ex.original_id) EXPECT_GE(orig, 3u);
+  EXPECT_TRUE(is_connected(ex.graph));
+}
+
+TEST(LargestComponent, ConnectedGraphIsUnchanged) {
+  const Graph g = gen::grid(4, 4);
+  const ExtractedComponent ex = largest_component(g);
+  EXPECT_EQ(ex.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(ex.graph.num_edges(), g.num_edges());
+}
+
+TEST(LargestComponent, MappingIsConsistent) {
+  const Graph g = gen::disjoint_union(gen::path(2), gen::grid(3, 3));
+  const ExtractedComponent ex = largest_component(g);
+  // Every edge of the extracted graph exists between the original ids.
+  for (NodeId u = 0; u < ex.graph.num_nodes(); ++u) {
+    for (const NodeId v : ex.graph.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(ex.original_id[u], ex.original_id[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gclus

@@ -1,0 +1,120 @@
+// Tests for the distance oracle (§4 final remark): upper-bound soundness
+// against exact BFS distances over sampled pairs, the zero-on-identity
+// contract, the additive+multiplicative distortion guarantee with
+// explicit slack, and memory accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/distance_oracle.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+class OracleSoundnessTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(OracleSoundnessTest, NeverUnderestimates) {
+  const auto& [name, graph] = GetParam();
+  DistanceOracleOptions opts;
+  opts.seed = 3;
+  const DistanceOracle oracle = DistanceOracle::build(graph, opts);
+
+  // Exact distances from a few sampled sources; every queried pair must
+  // satisfy bfs <= oracle and the distortion bound.
+  Rng rng(99);
+  const double logn =
+      std::max(2.0, std::log2(static_cast<double>(graph.num_nodes())));
+  for (int s = 0; s < 4; ++s) {
+    const auto u = static_cast<NodeId>(rng.next_below(graph.num_nodes()));
+    const auto exact = bfs_distances(graph, u);
+    for (int q = 0; q < 50; ++q) {
+      const auto v = static_cast<NodeId>(rng.next_below(graph.num_nodes()));
+      const std::uint64_t ub = oracle.upper_bound(u, v);
+      EXPECT_GE(ub, exact[v]) << name;
+      // d'(u,v) = O(d·log³n + R_ALG2) with generous constant 16.
+      EXPECT_LE(static_cast<double>(ub),
+                16.0 * (exact[v] * logn * logn * logn +
+                        oracle.max_radius() + 1.0))
+          << name << " pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, OracleSoundnessTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(DistanceOracle, IdentityQueriesAreZero) {
+  const Graph g = gen::grid(15, 15);
+  const DistanceOracle oracle = DistanceOracle::build(g, {});
+  for (NodeId v = 0; v < g.num_nodes(); v += 17) {
+    EXPECT_EQ(oracle.upper_bound(v, v), 0u);
+  }
+}
+
+TEST(DistanceOracle, SymmetricQueries) {
+  const Graph g = gen::road_like(18, 18, 0.08, 0.02, 7);
+  const DistanceOracle oracle = DistanceOracle::build(g, {});
+  Rng rng(5);
+  for (int q = 0; q < 100; ++q) {
+    const auto u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(oracle.upper_bound(u, v), oracle.upper_bound(v, u));
+  }
+}
+
+TEST(DistanceOracle, SameClusterUsesLabelPath) {
+  // On a clique, everything lands in one cluster with radius <= 1:
+  // oracle bound for distinct nodes is at most 2.
+  const Graph g = gen::complete(40);
+  DistanceOracleOptions opts;
+  opts.tau = 1;
+  const DistanceOracle oracle = DistanceOracle::build(g, opts);
+  EXPECT_LE(oracle.upper_bound(3, 17), 2u);
+  EXPECT_GE(oracle.upper_bound(3, 17), 1u);
+}
+
+TEST(DistanceOracle, ExplicitTauControlsClusterCount) {
+  const Graph g = gen::grid(30, 30);
+  DistanceOracleOptions coarse, fine;
+  coarse.tau = 1;
+  fine.tau = 16;
+  const auto oc = DistanceOracle::build(g, coarse);
+  const auto of = DistanceOracle::build(g, fine);
+  EXPECT_LT(oc.num_clusters(), of.num_clusters());
+}
+
+TEST(DistanceOracle, MemoryAccountingIsPlausible) {
+  const Graph g = gen::grid(25, 25);
+  const DistanceOracle oracle = DistanceOracle::build(g, {});
+  const std::size_t k = oracle.num_clusters();
+  // Labels: n·(4+4) bytes; APSP: k²·8 bytes.
+  const std::size_t expected =
+      g.num_nodes() * 8ull + static_cast<std::size_t>(k) * k * 8ull;
+  EXPECT_EQ(oracle.memory_bytes(), expected);
+}
+
+TEST(DistanceOracle, ClusterVariantAlsoSound) {
+  const Graph g = gen::cycle(300);
+  DistanceOracleOptions opts;
+  opts.use_cluster2 = false;
+  const DistanceOracle oracle = DistanceOracle::build(g, opts);
+  const auto exact = bfs_distances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); v += 13) {
+    EXPECT_GE(oracle.upper_bound(0, v), exact[v]);
+  }
+}
+
+}  // namespace
+}  // namespace gclus

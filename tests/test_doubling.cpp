@@ -1,0 +1,107 @@
+// Tests for the doubling-dimension estimator: known values on structured
+// graphs (paths ~1, grids ~2, expanders/stars large), cover-count
+// sanity, and monotone behavior.
+#include <gtest/gtest.h>
+
+#include "graph/doubling.hpp"
+#include "graph/generators.hpp"
+
+namespace gclus {
+namespace {
+
+TEST(GreedyBallCover, PathNeedsAtMostThreeBalls) {
+  // On a path, B(v, 2R) is an interval of length <= 4R+1; three R-balls
+  // always cover it (greedy may use up to 3).
+  const Graph g = gen::path(200);
+  for (const Dist r : {1u, 2u, 8u, 16u}) {
+    EXPECT_LE(greedy_ball_cover(g, 100, r), 3u) << "R=" << r;
+    EXPECT_GE(greedy_ball_cover(g, 100, r), 2u) << "R=" << r;
+  }
+}
+
+TEST(GreedyBallCover, CompleteGraphIsOneBall) {
+  const Graph g = gen::complete(40);
+  EXPECT_EQ(greedy_ball_cover(g, 0, 1), 1u);
+}
+
+TEST(GreedyBallCover, GridScalesLikeDimensionTwo) {
+  const Graph g = gen::grid(60, 60);
+  // A 2R-ball in the grid is a diamond of ~8R² nodes; R-balls hold ~2R²,
+  // so greedy needs a handful — far fewer than linear in R.
+  const std::size_t c4 = greedy_ball_cover(g, 60 * 30 + 30, 4);
+  const std::size_t c8 = greedy_ball_cover(g, 60 * 30 + 30, 8);
+  EXPECT_LE(c4, 12u);
+  EXPECT_LE(c8, 12u);
+  EXPECT_GE(c4, 3u);
+}
+
+TEST(GreedyBallCover, StarCenterVersusLeaf) {
+  // From the center, B(c, 2) is everything and B(u, 1) for any leaf u
+  // covers it only through the center; greedy still needs few balls.
+  const Graph g = gen::star(100);
+  EXPECT_LE(greedy_ball_cover(g, 0, 1), 2u);
+}
+
+TEST(DoublingEstimate, PathIsLowDimensional) {
+  const Graph g = gen::path(500);
+  DoublingOptions opts;
+  opts.seed = 3;
+  const DoublingEstimate e = estimate_doubling_dimension(g, opts);
+  EXPECT_LE(e.dimension, 2.0);
+  EXPECT_GT(e.dimension, 0.0);
+}
+
+TEST(DoublingEstimate, GridIsAboutTwo) {
+  const Graph g = gen::grid(50, 50);
+  DoublingOptions opts;
+  opts.seed = 5;
+  const DoublingEstimate e = estimate_doubling_dimension(g, opts);
+  EXPECT_GE(e.dimension, 1.5);
+  EXPECT_LE(e.dimension, 4.0);  // greedy slack over the true b=2
+}
+
+TEST(DoublingEstimate, ExpanderIsHighDimensional) {
+  // Expanders have doubling dimension Θ(log n): a 2R-ball at R ~ log n
+  // is the whole graph while R-balls hold only ~d^R nodes.
+  const Graph g = gen::expander(2048, 4, 7);
+  DoublingOptions opts;
+  opts.seed = 7;
+  const DoublingEstimate e = estimate_doubling_dimension(g, opts);
+  const Graph grid = gen::grid(45, 45);
+  DoublingOptions gopts;
+  gopts.seed = 7;
+  const DoublingEstimate ge = estimate_doubling_dimension(grid, gopts);
+  EXPECT_GT(e.dimension, ge.dimension + 1.0)
+      << "expander must report clearly higher dimension than the grid";
+}
+
+TEST(DoublingEstimate, WitnessIsConsistent) {
+  const Graph g = gen::grid(30, 30);
+  DoublingOptions opts;
+  opts.seed = 9;
+  const DoublingEstimate e = estimate_doubling_dimension(g, opts);
+  ASSERT_NE(e.witness_center, kInvalidNode);
+  EXPECT_EQ(greedy_ball_cover(g, e.witness_center, e.witness_radius),
+            e.witness_cover_size);
+}
+
+TEST(DoublingEstimate, DeterministicForSeed) {
+  const Graph g = gen::road_like(25, 25, 0.08, 0.02, 3);
+  DoublingOptions opts;
+  opts.seed = 11;
+  const DoublingEstimate a = estimate_doubling_dimension(g, opts);
+  const DoublingEstimate b = estimate_doubling_dimension(g, opts);
+  EXPECT_EQ(a.dimension, b.dimension);
+  EXPECT_EQ(a.witness_center, b.witness_center);
+}
+
+TEST(DoublingEstimate, ExplicitRadiusCapRespected) {
+  const Graph g = gen::grid(40, 40);
+  DoublingOptions opts;
+  opts.max_radius = 4;
+  const DoublingEstimate e = estimate_doubling_dimension(g, opts);
+  EXPECT_LE(e.witness_radius, 4u);
+}
+
+}  // namespace
+}  // namespace gclus

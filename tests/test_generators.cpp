@@ -1,0 +1,212 @@
+// Tests for the graph generators: exact structure where analytically
+// known, statistical/structural properties otherwise, determinism
+// throughout.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace gclus::gen {
+namespace {
+
+using testutil::brute_force_diameter;
+
+TEST(PathGenerator, StructureAndDiameter) {
+  const Graph g = path(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(brute_force_diameter(g), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+TEST(PathGenerator, SingleNode) {
+  const Graph g = path(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CycleGenerator, StructureAndDiameter) {
+  const Graph even = cycle(10);
+  EXPECT_EQ(even.num_edges(), 10u);
+  EXPECT_EQ(brute_force_diameter(even), 5u);
+  const Graph odd = cycle(11);
+  EXPECT_EQ(brute_force_diameter(odd), 5u);
+  for (NodeId v = 0; v < 11; ++v) EXPECT_EQ(odd.degree(v), 2u);
+}
+
+TEST(GridGenerator, StructureAndDiameter) {
+  const Graph g = grid(4, 7);
+  EXPECT_EQ(g.num_nodes(), 28u);
+  // Edges: rows*(cols-1) + (rows-1)*cols.
+  EXPECT_EQ(g.num_edges(), 4u * 6 + 3 * 7);
+  EXPECT_EQ(brute_force_diameter(g), 4u + 7 - 2);
+  EXPECT_EQ(g.degree(0), 2u);       // corner
+  EXPECT_EQ(g.degree(1), 3u);       // edge
+  EXPECT_EQ(g.degree(8), 4u);       // interior
+}
+
+TEST(TorusGenerator, IsRegularDegree4) {
+  const Graph g = torus(5, 6);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_EQ(g.num_edges(), 60u);
+  for (NodeId v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Torus diameter: floor(r/2) + floor(c/2).
+  EXPECT_EQ(brute_force_diameter(g), 2u + 3u);
+}
+
+TEST(CompleteGenerator, AllPairsAdjacent) {
+  const Graph g = complete(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+  EXPECT_EQ(brute_force_diameter(g), 1u);
+}
+
+TEST(StarGenerator, CenterDominates) {
+  const Graph g = star(12);
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_EQ(g.degree(0), 11u);
+  EXPECT_EQ(brute_force_diameter(g), 2u);
+}
+
+TEST(BinaryTreeGenerator, StructureAndConnectivity) {
+  const Graph g = binary_tree(15);  // perfect tree of height 3
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(brute_force_diameter(g), 6u);  // leaf-to-leaf through the root
+}
+
+TEST(RandomTreeGenerator, IsTreeAndDeterministic) {
+  const Graph a = random_tree(200, 5);
+  EXPECT_EQ(a.num_edges(), 199u);
+  EXPECT_TRUE(is_connected(a));
+  const Graph b = random_tree(200, 5);
+  EXPECT_EQ(a.neighbor_array(), b.neighbor_array());
+  const Graph c = random_tree(200, 6);
+  EXPECT_NE(a.neighbor_array(), c.neighbor_array());
+}
+
+TEST(ErdosRenyiGenerator, ExactEdgeCountNoDuplicates) {
+  const Graph g = erdos_renyi(100, 300, 3);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(ErdosRenyiGenerator, Deterministic) {
+  const Graph a = erdos_renyi(50, 100, 9);
+  const Graph b = erdos_renyi(50, 100, 9);
+  EXPECT_EQ(a.neighbor_array(), b.neighbor_array());
+}
+
+TEST(RmatGenerator, PowerLawSkewAndDeterminism) {
+  const Graph g = rmat(1024, 8192, 21);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  EXPECT_LE(g.num_edges(), 8192u);  // dedup may remove some
+  EXPECT_GT(g.num_edges(), 4000u);  // but not most
+  const auto stats = degree_stats(g);
+  // Heavy tail: the max degree far exceeds the average.
+  EXPECT_GT(static_cast<double>(stats.max_degree), 5.0 * stats.avg_degree);
+  const Graph h = rmat(1024, 8192, 21);
+  EXPECT_EQ(g.neighbor_array(), h.neighbor_array());
+}
+
+TEST(RmatGeneratorDeathTest, RequiresPowerOfTwo) {
+  EXPECT_DEATH(rmat(1000, 100, 1), "power-of-two");
+}
+
+TEST(PreferentialAttachment, ConnectedWithExpectedEdges) {
+  const Graph g = preferential_attachment(500, 3, 5);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(is_connected(g));
+  // attach edges per new node plus the seed clique.
+  EXPECT_GE(g.num_edges(), 3u * (500 - 4));
+  const auto stats = degree_stats(g);
+  EXPECT_GT(static_cast<double>(stats.max_degree), 3.0 * stats.avg_degree);
+}
+
+TEST(RoadLikeGenerator, SparseConnectedLargeDiameter) {
+  const Graph g = road_like(40, 40, 0.08, 0.02, 7);
+  EXPECT_TRUE(is_connected(g));  // generator returns the giant component
+  EXPECT_GT(g.num_nodes(), 1200u);
+  const auto stats = degree_stats(g);
+  EXPECT_LT(stats.avg_degree, 4.2);
+  // Diameter stays grid-like: at least the Manhattan width of the grid.
+  EXPECT_GE(exact_diameter(g).diameter, 39u);
+}
+
+TEST(ExpanderGenerator, RegularLowDiameter) {
+  const Graph g = expander(1024, 4, 3);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = degree_stats(g);
+  EXPECT_GE(stats.min_degree, 3u);  // cycle unions may merge an edge
+  EXPECT_LE(stats.max_degree, 4u);
+  // Expander diameter is O(log n): generous ceiling.
+  EXPECT_LE(exact_diameter(g).diameter, 20u);
+}
+
+TEST(ExpanderGeneratorDeathTest, RejectsOddDegree) {
+  EXPECT_DEATH(expander(64, 3, 1), "even");
+}
+
+TEST(ExpanderWithPath, DiameterDominatedByTail) {
+  const Graph g = expander_with_path(600, 100, 4, 3);
+  EXPECT_EQ(g.num_nodes(), 600u);
+  EXPECT_TRUE(is_connected(g));
+  const Dist d = exact_diameter(g).diameter;
+  EXPECT_GE(d, 100u);
+  EXPECT_LE(d, 130u);  // tail + expander crossing
+}
+
+TEST(RingOfCliques, StructureAndDiameter) {
+  const Graph g = ring_of_cliques(6, 5);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_TRUE(is_connected(g));
+  // Each clique contributes C(5,2)=10 edges, plus 6 bridges.
+  EXPECT_EQ(g.num_edges(), 6u * 10 + 6);
+}
+
+TEST(WithTail, ExtendsDiameterByTailLength) {
+  const Graph base = gen::complete(20);
+  const Graph g = with_tail(base, 15);
+  EXPECT_EQ(g.num_nodes(), 35u);
+  EXPECT_TRUE(is_connected(g));
+  // Tail end to the farthest clique node: 15 (chain) + 1 (clique hop).
+  EXPECT_EQ(brute_force_diameter(g), 16u);
+}
+
+TEST(WithTail, AttachAtArbitraryNode) {
+  const Graph base = gen::path(5);
+  const Graph g = with_tail(base, 3, /*attach_at=*/4);
+  EXPECT_EQ(brute_force_diameter(g), 7u);  // 0..4 then the tail
+}
+
+TEST(DisjointUnion, ComponentsPreserved) {
+  const Graph g = disjoint_union(gen::path(5), gen::cycle(6));
+  EXPECT_EQ(g.num_nodes(), 11u);
+  EXPECT_EQ(g.num_edges(), 4u + 6u);
+  const Components comps = connected_components(g);
+  EXPECT_EQ(comps.count, 2u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+// Determinism sweep across every generator used in the corpus.
+TEST(Generators, CorpusIsDeterministic) {
+  const auto a = testutil::small_connected_corpus();
+  const auto b = testutil::small_connected_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph.neighbor_array(), b[i].graph.neighbor_array())
+        << a[i].name;
+  }
+}
+
+TEST(Generators, CorpusIsConnected) {
+  for (const auto& [name, graph] : testutil::small_connected_corpus()) {
+    EXPECT_TRUE(is_connected(graph)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gclus::gen

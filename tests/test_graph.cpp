@@ -1,0 +1,155 @@
+// Unit tests for the CSR Graph, the builder normalization rules, and
+// induced subgraphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+TEST(GraphBuilder, BuildsTriangle) {
+  const Graph g = build_graph(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_half_edges(), 6u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GraphBuilder, RemovesSelfLoops) {
+  const Graph g = build_graph(3, {{0, 0}, {0, 1}, {1, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  const Graph g = build_graph(2, {{0, 1}, {1, 0}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, SymmetrizesDirectedInput) {
+  const Graph g = build_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GraphBuilder, AdjacencyListsAreSorted) {
+  const Graph g = build_graph(5, {{4, 0}, {2, 0}, {0, 1}, {3, 0}});
+  const auto adj = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+  EXPECT_EQ(adj.size(), 4u);
+}
+
+TEST(GraphBuilder, IsolatedNodesAllowed) {
+  const Graph g = build_graph(10, {{0, 1}});
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_TRUE(g.neighbors(5).empty());
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = build_graph(4, {});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GraphBuilder, IncrementalAddEdges) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edges({{1, 2}, {2, 3}});
+  EXPECT_EQ(b.num_pending_edges(), 3u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilderDeathTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(0, 3), "out of range");
+}
+
+TEST(Graph, HasEdgeBinarySearch) {
+  const Graph g = gen::grid(5, 5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_FALSE(g.has_edge(0, 6));   // diagonal
+  EXPECT_FALSE(g.has_edge(0, 24));  // opposite corner
+}
+
+TEST(Graph, MemoryBytesScalesWithSize) {
+  const Graph small = gen::path(10);
+  const Graph large = gen::path(1000);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+}
+
+TEST(Graph, ValidateCatchesHandCraftedAsymmetry) {
+  // CSR with 0 -> 1 but no 1 -> 0: must fail validation.
+  std::vector<EdgeId> offsets{0, 1, 1};
+  std::vector<NodeId> neighbors{1};
+  const Graph g(std::move(offsets), std::move(neighbors));
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(Graph, ValidateCatchesSelfLoop) {
+  std::vector<EdgeId> offsets{0, 1};
+  std::vector<NodeId> neighbors{0};
+  const Graph g(std::move(offsets), std::move(neighbors));
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(InducedSubgraph, ExtractsTriangleFromGrid) {
+  // Nodes 0,1,5 of a 5x5 grid: edges {0,1} and {0,5} survive, {1,5} absent.
+  const Graph g = gen::grid(5, 5);
+  const Graph s = induced_subgraph(g, {0, 1, 5});
+  EXPECT_EQ(s.num_nodes(), 3u);
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_TRUE(s.has_edge(0, 1));
+  EXPECT_TRUE(s.has_edge(0, 2));
+  EXPECT_FALSE(s.has_edge(1, 2));
+}
+
+TEST(InducedSubgraph, FullSubsetIsIdentity) {
+  const Graph g = gen::cycle(12);
+  std::vector<NodeId> all(12);
+  for (NodeId i = 0; i < 12; ++i) all[i] = i;
+  const Graph s = induced_subgraph(g, all);
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(InducedSubgraphDeathTest, RejectsDuplicates) {
+  const Graph g = gen::path(5);
+  EXPECT_DEATH(induced_subgraph(g, {1, 1}), "duplicate");
+}
+
+// Every corpus graph satisfies the full CSR invariant set.
+class CorpusGraphTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(CorpusGraphTest, SatisfiesInvariants) {
+  const Graph& g = GetParam().graph;
+  EXPECT_TRUE(g.validate()) << GetParam().name;
+  EXPECT_GE(g.num_nodes(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusGraphTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+}  // namespace
+}  // namespace gclus

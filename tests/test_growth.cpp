@@ -1,0 +1,187 @@
+// Tests for the shared synchronous growth engine: BFS equivalence for a
+// single cluster, deterministic tie-breaking, priorities, distance
+// bookkeeping across staggered activations, and frontier-stall behavior.
+#include <gtest/gtest.h>
+
+#include "core/growth.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+TEST(GrowthState, SingleClusterGrowsLikeBfs) {
+  const Graph g = gen::grid(9, 11);
+  ThreadPool pool(2);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  while (state.covered_count() < g.num_nodes()) state.step();
+  const Clustering c = std::move(state).finish();
+  EXPECT_TRUE(c.validate(g));
+  const auto bfs = bfs_distances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(c.dist_to_center[v], bfs[v]) << "node " << v;
+    EXPECT_EQ(c.assignment[v], 0u);
+  }
+  EXPECT_EQ(c.max_radius(), bfs_extremum(g, 0).eccentricity);
+}
+
+TEST(GrowthState, TwoCentersSplitPathAtMidpoint) {
+  const Graph g = gen::path(11);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.add_center(10);
+  while (state.covered_count() < g.num_nodes()) state.step();
+  const Clustering c = std::move(state).finish();
+  EXPECT_TRUE(c.validate(g));
+  // Node 5 is equidistant; the lower cluster id (0) wins the tie.
+  EXPECT_EQ(c.assignment[5], 0u);
+  EXPECT_EQ(c.assignment[4], 0u);
+  EXPECT_EQ(c.assignment[6], 1u);
+  EXPECT_EQ(c.radius[0], 5u);
+  EXPECT_EQ(c.radius[1], 4u);
+}
+
+TEST(GrowthState, PriorityOverridesClusterIdTieBreak) {
+  const Graph g = gen::path(11);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0, /*priority=*/9);  // cluster 0, low precedence
+  state.add_center(10, /*priority=*/1); // cluster 1, high precedence
+  while (state.covered_count() < g.num_nodes()) state.step();
+  const Clustering c = std::move(state).finish();
+  // Now the tie at node 5 goes to cluster 1.
+  EXPECT_EQ(c.assignment[5], 1u);
+}
+
+TEST(GrowthState, StaggeredActivationDistances) {
+  // Center 0 activates at step 0; center 10 joins after two steps.  Its
+  // members' distances must be relative to its own activation.
+  const Graph g = gen::path(20);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.step();
+  state.step();
+  state.add_center(19);
+  while (state.covered_count() < g.num_nodes()) state.step();
+  const Clustering c = std::move(state).finish();
+  EXPECT_TRUE(c.validate(g));
+  EXPECT_EQ(c.dist_to_center[19], 0u);
+  EXPECT_EQ(c.dist_to_center[18], 1u);
+  EXPECT_EQ(c.assignment[18], c.assignment[19]);
+}
+
+TEST(GrowthState, DeterministicAcrossThreadCounts) {
+  const Graph g = gen::road_like(25, 25, 0.08, 0.02, 3);
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    GrowthState state(g, pool);
+    state.add_center(0);
+    state.add_center(g.num_nodes() / 2);
+    state.add_center(g.num_nodes() - 1);
+    while (state.covered_count() < g.num_nodes()) {
+      if (state.frontier_empty()) state.add_singletons_for_uncovered();
+      state.step();
+    }
+    return std::move(state).finish();
+  };
+  const Clustering a = run(1);
+  const Clustering b = run(4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+  EXPECT_EQ(a.radius, b.radius);
+}
+
+TEST(GrowthState, GrowStepsStopsEarlyOnEmptyFrontier) {
+  const Graph g = gen::path(5);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(2);
+  const NodeId covered = state.grow_steps(100);
+  EXPECT_EQ(covered, 4u);  // everything except the center
+  EXPECT_TRUE(state.frontier_empty());
+  EXPECT_LE(state.steps_executed(), 3u);
+}
+
+TEST(GrowthState, GrowUntilCoveredReachesTarget) {
+  const Graph g = gen::grid(20, 20);
+  ThreadPool pool(2);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  const NodeId covered = state.grow_until_covered(150);
+  EXPECT_GE(covered, 150u);
+  EXPECT_LT(state.covered_count(), g.num_nodes());
+}
+
+TEST(GrowthState, FrontierStallsOnDisconnectedGraph) {
+  const Graph g = gen::disjoint_union(gen::path(6), gen::path(6));
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.grow_steps(100);
+  EXPECT_EQ(state.covered_count(), 6u);  // only the first component
+  EXPECT_TRUE(state.frontier_empty());
+  state.add_center(6);
+  state.grow_steps(100);
+  EXPECT_EQ(state.covered_count(), 12u);
+}
+
+TEST(GrowthState, SingletonsForUncovered) {
+  const Graph g = gen::path(6);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.step();  // covers node 1
+  state.add_singletons_for_uncovered();
+  EXPECT_EQ(state.covered_count(), 6u);
+  const Clustering c = std::move(state).finish();
+  EXPECT_TRUE(c.validate(g));
+  EXPECT_EQ(c.num_clusters(), 5u);  // {0,1} plus four singletons
+  EXPECT_EQ(c.sizes[0], 2u);
+}
+
+TEST(GrowthStateDeathTest, CenterOnCoveredNodeRejected) {
+  const Graph g = gen::path(4);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  EXPECT_DEATH(state.add_center(0), "already covered");
+}
+
+TEST(GrowthStateDeathTest, FinishRequiresFullCoverage) {
+  const Graph g = gen::path(4);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  EXPECT_DEATH((void)std::move(state).finish(), "full coverage");
+}
+
+TEST(ClusteringValidate, DetectsCorruptedAssignment) {
+  const Graph g = gen::path(6);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.grow_steps(100);
+  Clustering c = std::move(state).finish();
+  EXPECT_TRUE(c.validate(g));
+  // Break the claim-chain: distance jumps by 2.
+  c.dist_to_center[3] = 5;
+  EXPECT_FALSE(c.validate(g));
+}
+
+TEST(ClusteringValidate, DetectsWrongRadius) {
+  const Graph g = gen::path(6);
+  ThreadPool pool(1);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.grow_steps(100);
+  Clustering c = std::move(state).finish();
+  c.radius[0] = 1;  // true radius is 5
+  EXPECT_FALSE(c.validate(g));
+}
+
+}  // namespace
+}  // namespace gclus

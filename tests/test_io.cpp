@@ -1,0 +1,92 @@
+// Tests for graph serialization: edge-list text parsing (including SNAP
+// style comments and sparse ids) and the binary round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace gclus::io {
+namespace {
+
+TEST(EdgeListRead, ParsesPlainPairs) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(EdgeListRead, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# SNAP-style comment\n% matrix-market comment\n\n0 1\n\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListRead, CompactsSparseIds) {
+  std::istringstream in("1000000 2000000\n2000000 30\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(EdgeListRead, SymmetrizesAndDedups) {
+  std::istringstream in("0 1\n1 0\n0 1\n2 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 1u);  // self-loop dropped, duplicates merged
+}
+
+TEST(EdgeListRoundTrip, PreservesStructure) {
+  const Graph g = gen::grid(7, 9);
+  std::stringstream buf;
+  write_edge_list(g, buf);
+  const Graph h = read_edge_list(buf);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(BinaryRoundTrip, BitExact) {
+  const Graph g = gen::rmat(256, 1024, 5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gclus_io_test.bin").string();
+  write_binary_file(g, path);
+  const Graph h = read_binary_file(path);
+  EXPECT_EQ(g.offsets(), h.offsets());
+  EXPECT_EQ(g.neighbor_array(), h.neighbor_array());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryRoundTrip, EmptyGraph) {
+  const Graph g = build_graph(5, {});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gclus_io_empty.bin").string();
+  write_binary_file(g, path);
+  const Graph h = read_binary_file(path);
+  EXPECT_EQ(h.num_nodes(), 5u);
+  EXPECT_EQ(h.num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryReadDeathTest, RejectsGarbageMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gclus_io_bad.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph";
+  }
+  EXPECT_DEATH((void)read_binary_file(path), "not a gclus binary");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoDeathTest, MissingFileAborts) {
+  EXPECT_DEATH((void)read_edge_list_file("/nonexistent/gclus/file.txt"),
+               "cannot open");
+}
+
+}  // namespace
+}  // namespace gclus::io

@@ -1,0 +1,248 @@
+// Tests for the MR-backed algorithms: BFS distance equivalence, the
+// CLUSTER shared-memory/MR *identical partition* equivalence, HADI sketch
+// behavior and estimates, and the MR diameter pipeline's soundness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cluster.hpp"
+#include "core/diameter.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mr_algos/mr_bfs.hpp"
+#include "mr_algos/mr_cluster.hpp"
+#include "mr_algos/mr_hadi.hpp"
+#include "test_util.hpp"
+
+namespace gclus::mr_algos {
+namespace {
+
+class MrBfsCorpusTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(MrBfsCorpusTest, DistancesMatchSequentialBfs) {
+  const auto& [name, graph] = GetParam();
+  mr::Engine engine;
+  const MrBfsResult r = mr_bfs(engine, graph, 0);
+  EXPECT_EQ(r.dist, bfs_distances(graph, 0)) << name;
+  // Supersteps: ecc rounds of propagation + the final quiescence check.
+  EXPECT_GE(r.supersteps, r.eccentricity) << name;
+  EXPECT_LE(r.supersteps, r.eccentricity + 1u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MrBfsCorpusTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(MrBfs, RoundCountScalesWithDiameter) {
+  mr::Engine engine;
+  const Graph longpath = gen::path(200);
+  (void)mr_bfs(engine, longpath, 0);
+  const std::size_t rounds_long = engine.metrics().rounds;
+  engine.reset_metrics();
+  const Graph expander = gen::expander(256, 4, 3);
+  (void)mr_bfs(engine, expander, 0);
+  const std::size_t rounds_short = engine.metrics().rounds;
+  EXPECT_GT(rounds_long, 10 * rounds_short);
+}
+
+TEST(MrBfs, DiameterEstimateIsTwoEcc) {
+  mr::Engine engine;
+  const Graph g = gen::path(100);
+  const MrBfsDiameterResult r = mr_bfs_diameter(engine, g, 0);
+  EXPECT_EQ(r.estimate, 198u);  // 2 * ecc(0) = 2 * 99
+  const MrBfsDiameterResult mid = mr_bfs_diameter(engine, g, 50);
+  EXPECT_EQ(mid.estimate, 100u);  // 2 * 50: tight from the middle
+}
+
+TEST(MrBfs, AggregateCommunicationLinearInEdges) {
+  mr::Engine engine;
+  const Graph g = gen::grid(30, 30);
+  (void)mr_bfs(engine, g, 0);
+  // Every node sends along each incident edge exactly once: the shuffled
+  // pair count is bounded by the directed edge count (plus the seed).
+  EXPECT_LE(engine.metrics().pairs_shuffled, g.num_half_edges() + 4);
+  EXPECT_GE(engine.metrics().pairs_shuffled, g.num_half_edges() / 2);
+}
+
+struct MrClusterParam {
+  std::size_t corpus_index;
+  std::uint32_t tau;
+  std::uint64_t seed;
+};
+
+class MrClusterEquivalenceTest
+    : public ::testing::TestWithParam<MrClusterParam> {};
+
+TEST_P(MrClusterEquivalenceTest, IdenticalPartitionToSharedMemory) {
+  const auto corpus = testutil::small_connected_corpus();
+  const auto& [name, graph] = corpus.at(GetParam().corpus_index);
+
+  ClusterOptions shared_opts;
+  shared_opts.seed = GetParam().seed;
+  const Clustering shared = cluster(graph, GetParam().tau, shared_opts);
+
+  mr::Engine engine;
+  MrClusterOptions mr_opts;
+  mr_opts.seed = GetParam().seed;
+  const MrClusterResult dist = mr_cluster(engine, graph, GetParam().tau,
+                                          mr_opts);
+
+  EXPECT_EQ(dist.clustering.assignment, shared.assignment) << name;
+  EXPECT_EQ(dist.clustering.dist_to_center, shared.dist_to_center) << name;
+  EXPECT_EQ(dist.clustering.centers, shared.centers) << name;
+  EXPECT_EQ(dist.clustering.radius, shared.radius) << name;
+  EXPECT_EQ(dist.clustering.growth_steps, shared.growth_steps) << name;
+  EXPECT_TRUE(dist.clustering.validate(graph)) << name;
+}
+
+std::vector<MrClusterParam> mr_cluster_params() {
+  std::vector<MrClusterParam> params;
+  const std::size_t corpus_size = testutil::small_connected_corpus().size();
+  for (std::size_t g = 0; g < corpus_size; ++g) {
+    params.push_back({g, 2, 1});
+  }
+  // Extra seeds/τ on a couple of interesting graphs.
+  params.push_back({4, 8, 5});   // grid-30x30
+  params.push_back({12, 4, 9});  // expander-path
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MrClusterEquivalenceTest,
+    ::testing::ValuesIn(mr_cluster_params()),
+    [](const ::testing::TestParamInfo<MrClusterParam>& info) {
+      return "g" + std::to_string(info.param.corpus_index) + "_tau" +
+             std::to_string(info.param.tau) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(MrCluster, GrowthRoundsTrackGrowthSteps) {
+  const Graph g = gen::grid(25, 25);
+  mr::Engine engine;
+  const MrClusterResult r = mr_cluster(engine, g, 2, {});
+  EXPECT_EQ(r.growth_rounds, r.clustering.growth_steps);
+  EXPECT_GE(r.selection_rounds, 1u);
+  EXPECT_GE(engine.metrics().rounds, r.growth_rounds + r.selection_rounds);
+}
+
+TEST(MrCluster, ChargesSortingRoundsUnderSmallLocalMemory) {
+  const Graph g = gen::grid(25, 25);
+  mr::Config small_ml;
+  small_ml.local_memory_pairs = 64;
+  mr::Engine engine_small(small_ml);
+  (void)mr_cluster(engine_small, g, 2, {});
+  mr::Engine engine_big;
+  (void)mr_cluster(engine_big, g, 2, {});
+  EXPECT_GT(engine_small.metrics().rounds, engine_big.metrics().rounds);
+}
+
+TEST(HadiSketch, InitializationIsGeometric) {
+  // Across many nodes, register bit positions follow Geom(1/2): about half
+  // the sketches set bit 0.
+  int bit0 = 0;
+  constexpr int kNodes = 4000;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    const HadiSketch s = hadi_init_sketch(v, 1);
+    for (std::size_t r = 0; r < kHadiRegisters; ++r) {
+      if (s[r] & 1u) ++bit0;
+    }
+  }
+  const double frac =
+      static_cast<double>(bit0) / (kNodes * kHadiRegisters);
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(HadiEstimate, SingletonSketchEstimatesO1) {
+  const HadiSketch s = hadi_init_sketch(7, 3);
+  const double est = hadi_estimate(s);
+  EXPECT_GT(est, 0.5);
+  EXPECT_LT(est, 16.0);
+}
+
+TEST(MrHadi, RoundsTrackDiameterOnPath) {
+  const Graph g = gen::path(60);
+  mr::Engine engine;
+  HadiOptions opts;
+  opts.seed = 3;
+  const HadiResult r = mr_hadi(engine, g, opts);
+  // Sketch fixpoint on a path needs ~diameter rounds; the FM threshold may
+  // stop a bit early.  Accept [Δ/2, Δ+2].
+  EXPECT_GE(r.rounds, 30u);
+  EXPECT_LE(r.rounds, 62u);
+  EXPECT_GE(r.estimate, 25u);
+  EXPECT_LE(r.estimate, 61u);
+}
+
+TEST(MrHadi, FewRoundsOnExpander) {
+  const Graph g = gen::expander(512, 4, 7);
+  mr::Engine engine;
+  const HadiResult r = mr_hadi(engine, g, {});
+  const Dist diam = exact_diameter(g).diameter;
+  EXPECT_LE(r.rounds, static_cast<std::size_t>(diam) + 2);
+  EXPECT_GE(r.estimate, 2u);
+}
+
+TEST(MrHadi, NeighborhoodFunctionIsMonotone) {
+  const Graph g = gen::grid(12, 12);
+  mr::Engine engine;
+  const HadiResult r = mr_hadi(engine, g, {});
+  for (std::size_t t = 1; t < r.neighborhood_function.size(); ++t) {
+    EXPECT_GE(r.neighborhood_function[t], r.neighborhood_function[t - 1]);
+  }
+  // Final N ~ n² within FM error (generous band: factor 3).
+  const double n = g.num_nodes();
+  EXPECT_GT(r.neighborhood_function.back(), n * n / 3.0);
+  EXPECT_LT(r.neighborhood_function.back(), n * n * 3.0);
+}
+
+TEST(MrHadi, PerRoundCommunicationLinearInEdges) {
+  const Graph g = gen::grid(15, 15);
+  mr::Engine engine;
+  const HadiResult r = mr_hadi(engine, g, {});
+  // Each round ships one sketch per directed edge.
+  EXPECT_EQ(engine.metrics().pairs_shuffled,
+            static_cast<std::uint64_t>(r.rounds) * g.num_half_edges());
+}
+
+TEST(MrClusterDiameter, SoundUpperBoundOnCorpusSubset) {
+  const auto corpus = testutil::small_connected_corpus();
+  for (const std::size_t idx : {0ul, 3ul, 4ul, 11ul}) {
+    const auto& [name, graph] = corpus.at(idx);
+    mr::Engine engine;
+    const MrDiameterResult r = mr_cluster_diameter(engine, graph, 2, {});
+    const Dist truth = testutil::brute_force_diameter(graph);
+    EXPECT_GE(r.estimate, truth) << name;
+    EXPECT_GT(r.quotient_nodes, 0u) << name;
+    EXPECT_GT(r.total_rounds, 0u) << name;
+  }
+}
+
+TEST(MrClusterDiameter, MatchesSharedMemoryPipelineEstimate) {
+  const Graph g = gen::road_like(20, 20, 0.08, 0.02, 41);
+  mr::Engine engine;
+  MrClusterOptions mopts;
+  mopts.seed = 43;
+  const MrDiameterResult mr_result = mr_cluster_diameter(engine, g, 3, mopts);
+
+  // The shared-memory pipeline over the same clustering must agree on the
+  // Δ″ estimate (identical partition -> identical weighted quotient).
+  ClusterOptions copts;
+  copts.seed = 43;
+  const Clustering c = cluster(g, 3, copts);
+  const DiameterApprox shared = diameter_from_clustering(g, c);
+  EXPECT_EQ(mr_result.estimate, shared.upper_bound);
+  EXPECT_EQ(mr_result.quotient_nodes, shared.quotient_nodes);
+  EXPECT_EQ(mr_result.quotient_edges, shared.quotient_edges);
+  EXPECT_EQ(mr_result.max_radius, shared.max_radius);
+}
+
+}  // namespace
+}  // namespace gclus::mr_algos

@@ -1,0 +1,189 @@
+// Tests for the MR(M_G, M_L) engine: round semantics (grouping, value
+// order, determinism), metrics accounting, and memory-bound enforcement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "mapreduce/engine.hpp"
+
+namespace gclus::mr {
+namespace {
+
+using KV = std::pair<std::uint32_t, std::uint64_t>;
+
+TEST(Engine, GroupsValuesByKey) {
+  Engine engine;
+  std::vector<KV> input{{1, 10}, {2, 20}, {1, 11}, {3, 30}, {2, 21}};
+  std::map<std::uint32_t, std::vector<std::uint64_t>> seen;
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      input, [&](const std::uint32_t& k, std::span<std::uint64_t> vs,
+                 Emitter<std::uint32_t, std::uint64_t>&) {
+        seen[k].assign(vs.begin(), vs.end());
+      });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[1], (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_EQ(seen[2], (std::vector<std::uint64_t>{20, 21}));
+  EXPECT_EQ(seen[3], (std::vector<std::uint64_t>{30}));
+}
+
+TEST(Engine, ValuesArriveInInputOrder) {
+  Engine engine;
+  std::vector<KV> input;
+  for (std::uint64_t i = 0; i < 500; ++i) input.emplace_back(7, i);
+  std::vector<std::uint64_t> got;
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      std::move(input),
+      [&](const std::uint32_t&, std::span<std::uint64_t> vs,
+          Emitter<std::uint32_t, std::uint64_t>&) {
+        got.assign(vs.begin(), vs.end());
+      });
+  ASSERT_EQ(got.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST(Engine, EmittedPairsAreReturned) {
+  Engine engine;
+  std::vector<KV> input{{1, 1}, {2, 2}, {3, 3}};
+  auto out =
+      engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+          std::move(input),
+          [](const std::uint32_t& k, std::span<std::uint64_t> vs,
+             Emitter<std::uint32_t, std::uint64_t>& emit) {
+            for (const auto v : vs) emit.emit(k * 10, v * 10);
+          });
+  ASSERT_EQ(out.size(), 3u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out[0], (std::pair<std::uint32_t, std::uint64_t>{10, 10}));
+  EXPECT_EQ(out[2], (std::pair<std::uint32_t, std::uint64_t>{30, 30}));
+}
+
+TEST(Engine, OutputDeterministicAcrossWorkerCounts) {
+  auto run = [](std::size_t workers) {
+    Config cfg;
+    cfg.num_workers = workers;
+    Engine engine(cfg);
+    std::vector<KV> input;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      input.emplace_back(static_cast<std::uint32_t>(i % 97), i);
+    }
+    auto out = engine.round<std::uint32_t, std::uint64_t, std::uint32_t,
+                            std::uint64_t>(
+        std::move(input),
+        [](const std::uint32_t& k, std::span<std::uint64_t> vs,
+           Emitter<std::uint32_t, std::uint64_t>& emit) {
+          std::uint64_t sum = 0;
+          for (const auto v : vs) sum += v;
+          emit.emit(k, sum);
+        });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Engine, MetricsCountRoundsAndVolume) {
+  Engine engine;
+  std::vector<KV> input{{1, 1}, {1, 2}, {2, 3}};
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      input, [](const std::uint32_t&, std::span<std::uint64_t>,
+                Emitter<std::uint32_t, std::uint64_t>&) {});
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      input, [](const std::uint32_t&, std::span<std::uint64_t>,
+                Emitter<std::uint32_t, std::uint64_t>&) {});
+  const Metrics& m = engine.metrics();
+  EXPECT_EQ(m.rounds, 2u);
+  EXPECT_EQ(m.pairs_shuffled, 6u);
+  EXPECT_EQ(m.max_reducer_pairs, 2u);  // key 1 has two values
+  EXPECT_EQ(m.max_round_pairs, 3u);
+  EXPECT_GT(m.bytes_shuffled, 0u);
+}
+
+TEST(Engine, PerRoundLatencyAccrues) {
+  Config cfg;
+  cfg.per_round_latency_s = 0.25;
+  Engine engine(cfg);
+  std::vector<KV> input{{1, 1}};
+  for (int i = 0; i < 4; ++i) {
+    engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+        input, [](const std::uint32_t&, std::span<std::uint64_t>,
+                  Emitter<std::uint32_t, std::uint64_t>&) {});
+  }
+  EXPECT_DOUBLE_EQ(engine.metrics().simulated_latency_s, 1.0);
+}
+
+TEST(Engine, LocalMemoryViolationRecorded) {
+  Config cfg;
+  cfg.local_memory_pairs = 3;
+  Engine engine(cfg);
+  std::vector<KV> input;
+  for (std::uint64_t i = 0; i < 10; ++i) input.emplace_back(1, i);
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      std::move(input), [](const std::uint32_t&, std::span<std::uint64_t>,
+                           Emitter<std::uint32_t, std::uint64_t>&) {});
+  EXPECT_TRUE(engine.metrics().local_memory_exceeded);
+}
+
+TEST(Engine, GlobalMemoryViolationRecorded) {
+  Config cfg;
+  cfg.global_memory_pairs = 2;
+  Engine engine(cfg);
+  std::vector<KV> input{{1, 1}, {2, 2}, {3, 3}};
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      std::move(input), [](const std::uint32_t&, std::span<std::uint64_t>,
+                           Emitter<std::uint32_t, std::uint64_t>&) {});
+  EXPECT_TRUE(engine.metrics().global_memory_exceeded);
+}
+
+TEST(EngineDeathTest, StrictModeAbortsOnLocalMemory) {
+  Config cfg;
+  cfg.local_memory_pairs = 2;
+  cfg.strict = true;
+  Engine engine(cfg);
+  std::vector<KV> input{{1, 1}, {1, 2}, {1, 3}};
+  EXPECT_DEATH(
+      (engine.round<std::uint32_t, std::uint64_t, std::uint32_t,
+                    std::uint64_t>(
+          std::move(input), [](const std::uint32_t&, std::span<std::uint64_t>,
+                               Emitter<std::uint32_t, std::uint64_t>&) {})),
+      "local memory");
+}
+
+TEST(Engine, ResetMetricsClearsCounters) {
+  Engine engine;
+  std::vector<KV> input{{1, 1}};
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      std::move(input), [](const std::uint32_t&, std::span<std::uint64_t>,
+                           Emitter<std::uint32_t, std::uint64_t>&) {});
+  engine.reset_metrics();
+  EXPECT_EQ(engine.metrics().rounds, 0u);
+  EXPECT_EQ(engine.metrics().pairs_shuffled, 0u);
+}
+
+TEST(Engine, EmptyInputStillCountsARound) {
+  Engine engine;
+  engine.round<std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t>(
+      {}, [](const std::uint32_t&, std::span<std::uint64_t>,
+             Emitter<std::uint32_t, std::uint64_t>&) {});
+  EXPECT_EQ(engine.metrics().rounds, 1u);
+  EXPECT_EQ(engine.metrics().pairs_shuffled, 0u);
+}
+
+TEST(Engine, StringKeysSupported) {
+  Engine engine;
+  std::vector<std::pair<std::string, std::uint64_t>> input{
+      {"b", 2}, {"a", 1}, {"b", 3}};
+  std::map<std::string, std::uint64_t> sums;
+  engine.round<std::string, std::uint64_t, std::string, std::uint64_t>(
+      std::move(input),
+      [&](const std::string& k, std::span<std::uint64_t> vs,
+          Emitter<std::string, std::uint64_t>&) {
+        sums[k] = std::accumulate(vs.begin(), vs.end(), std::uint64_t{0});
+      });
+  EXPECT_EQ(sums["a"], 1u);
+  EXPECT_EQ(sums["b"], 5u);
+}
+
+}  // namespace
+}  // namespace gclus::mr

@@ -1,0 +1,99 @@
+// Tests for structural property computations, most importantly the exact
+// iFUB diameter against the brute-force reference over the whole corpus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+TEST(DegreeStats, GridValues) {
+  const auto s = degree_stats(gen::grid(3, 4));
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_NEAR(s.avg_degree, 2.0 * 17 / 12, 1e-9);
+}
+
+TEST(DegreeStats, RegularGraph) {
+  const auto s = degree_stats(gen::cycle(9));
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+}
+
+TEST(DoubleSweep, LowerBoundsTheDiameter) {
+  for (const auto& [name, graph] : testutil::small_connected_corpus()) {
+    const Dist lb = double_sweep_lower_bound(graph);
+    const Dist d = testutil::brute_force_diameter(graph);
+    EXPECT_LE(lb, d) << name;
+    EXPECT_GE(2 * static_cast<std::uint64_t>(lb), d) << name;  // sweep >= ecc
+  }
+}
+
+TEST(DoubleSweep, ExactOnPathsAndTrees) {
+  EXPECT_EQ(double_sweep_lower_bound(gen::path(33)), 32u);
+  EXPECT_EQ(double_sweep_lower_bound(gen::binary_tree(31)), 8u);
+}
+
+class ExactDiameterTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(ExactDiameterTest, MatchesBruteForce) {
+  const auto& [name, graph] = GetParam();
+  const DiameterResult r = exact_diameter(graph);
+  EXPECT_EQ(r.diameter, testutil::brute_force_diameter(graph)) << name;
+  EXPECT_GE(r.bfs_runs, 3u);
+  // iFUB must be far cheaper than the n-BFS brute force on non-tiny inputs.
+  if (graph.num_nodes() > 100) {
+    EXPECT_LT(r.bfs_runs, graph.num_nodes()) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ExactDiameterTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(ExactDiameter, KnownValues) {
+  EXPECT_EQ(exact_diameter(gen::path(100)).diameter, 99u);
+  EXPECT_EQ(exact_diameter(gen::cycle(100)).diameter, 50u);
+  EXPECT_EQ(exact_diameter(gen::grid(10, 20)).diameter, 28u);
+  EXPECT_EQ(exact_diameter(gen::complete(30)).diameter, 1u);
+  EXPECT_EQ(exact_diameter(gen::star(30)).diameter, 2u);
+  EXPECT_EQ(exact_diameter(gen::path(1)).diameter, 0u);
+}
+
+TEST(ExactDiameter, StartNodeDoesNotMatter) {
+  const Graph g = gen::road_like(20, 20, 0.1, 0.02, 3);
+  const Dist d0 = exact_diameter(g, 0).diameter;
+  const Dist dmid = exact_diameter(g, g.num_nodes() / 2).diameter;
+  EXPECT_EQ(d0, dmid);
+}
+
+TEST(ExactDiameterDeathTest, RejectsDisconnectedInput) {
+  const Graph g = gen::disjoint_union(gen::path(3), gen::path(3));
+  EXPECT_DEATH((void)exact_diameter(g), "connected");
+}
+
+TEST(AllEccentricities, MatchesPerNodeBfs) {
+  const Graph g = gen::grid(5, 6);
+  const auto ecc = all_eccentricities(g);
+  // Corner eccentricity = opposite-corner Manhattan distance.
+  EXPECT_EQ(ecc[0], 9u);
+  // Center-most node has the radius.
+  const Dist min_ecc = *std::min_element(ecc.begin(), ecc.end());
+  const Dist max_ecc = *std::max_element(ecc.begin(), ecc.end());
+  EXPECT_EQ(max_ecc, 9u);
+  EXPECT_LE(min_ecc, 5u);
+}
+
+}  // namespace
+}  // namespace gclus

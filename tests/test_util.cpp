@@ -1,0 +1,68 @@
+#include "test_util.hpp"
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+
+namespace gclus::testutil {
+
+Graph largest_component_of(const Graph& g) {
+  return largest_component(g).graph;
+}
+
+std::vector<NamedGraph> small_connected_corpus() {
+  std::vector<NamedGraph> out;
+  out.push_back({"path-64", gen::path(64)});
+  out.push_back({"path-257", gen::path(257)});
+  out.push_back({"cycle-100", gen::cycle(100)});
+  out.push_back({"grid-12x17", gen::grid(12, 17)});
+  out.push_back({"grid-30x30", gen::grid(30, 30)});
+  out.push_back({"torus-10x11", gen::torus(10, 11)});
+  out.push_back({"binary-tree-255", gen::binary_tree(255)});
+  out.push_back({"random-tree-400", gen::random_tree(400, 7)});
+  out.push_back({"complete-25", gen::complete(25)});
+  out.push_back({"star-80", gen::star(80)});
+  out.push_back({"expander-512", gen::expander(512, 4, 11)});
+  out.push_back({"ring-of-cliques-12x8", gen::ring_of_cliques(12, 8)});
+  out.push_back({"expander-path", gen::expander_with_path(600, 80, 4, 13)});
+  out.push_back({"pa-500", gen::preferential_attachment(500, 3, 17)});
+  out.push_back(
+      {"rmat-1024", largest_component_of(gen::rmat(1024, 4096, 19))});
+  out.push_back({"road-like-24x24", gen::road_like(24, 24, 0.08, 0.02, 23)});
+  return out;
+}
+
+Dist brute_force_kcenter_radius(const Graph& g, NodeId k) {
+  const NodeId n = g.num_nodes();
+  // Enumerate size-k subsets with a simple odometer.
+  std::vector<NodeId> idx(k);
+  for (NodeId i = 0; i < k; ++i) idx[i] = i;
+  Dist best = kInfDist;
+  for (;;) {
+    const auto dist = multi_source_bfs(g, idx);
+    Dist radius = 0;
+    bool feasible = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] == kInfDist) {
+        feasible = false;
+        break;
+      }
+      radius = std::max(radius, dist[v]);
+    }
+    if (feasible) best = std::min(best, radius);
+    // Advance the odometer.
+    int pos = static_cast<int>(k) - 1;
+    while (pos >= 0 &&
+           idx[pos] == n - k + static_cast<NodeId>(pos)) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++idx[pos];
+    for (NodeId j = static_cast<NodeId>(pos) + 1; j < k; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace gclus::testutil

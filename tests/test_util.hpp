@@ -1,0 +1,44 @@
+// Shared helpers for the test suite: a corpus of small named graphs used
+// by the parameterized property sweeps, and brute-force reference
+// implementations that the optimized kernels are checked against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace gclus::testutil {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// Largest connected component of g (thin wrapper over graph/connectivity).
+Graph largest_component_of(const Graph& g);
+
+/// A corpus of small connected graphs with diverse shapes: paths, cycles,
+/// grids, tori, trees, cliques, expanders, power-law, ring-of-cliques,
+/// expander+path.  Every graph is connected and small enough (<= ~2500
+/// nodes) for brute-force cross-checks.
+std::vector<NamedGraph> small_connected_corpus();
+
+/// Brute-force exact diameter by BFS from every node.  O(n·m).
+inline Dist brute_force_diameter(const Graph& g) {
+  Dist best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto e = bfs_extremum(g, v);
+    if (e.eccentricity > best) best = e.eccentricity;
+  }
+  return best;
+}
+
+/// Brute-force optimal k-center radius by trying every size-k center set —
+/// exponential; only for tiny graphs (n <= ~16, k <= 3).
+Dist brute_force_kcenter_radius(const Graph& g, NodeId k);
+
+}  // namespace gclus::testutil

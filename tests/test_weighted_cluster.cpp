@@ -1,0 +1,183 @@
+// Tests for the §7 weighted-graph decomposition extension: unit-weight
+// equivalence with CLUSTER across the corpus, weighted claim-chain
+// validity, the two radii, determinism, and the weighted diameter
+// approximation sandwich.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/weighted_cluster.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+#include "test_util.hpp"
+
+namespace gclus {
+namespace {
+
+/// A weighted version of a corpus graph with deterministic weights 1..9.
+WeightedGraph weighted_version(const Graph& g, std::uint64_t seed) {
+  std::vector<std::tuple<NodeId, NodeId, Weight>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) {
+        edges.emplace_back(
+            u, v, 1 + static_cast<Weight>(hash_combine(seed, u, v) % 9));
+      }
+    }
+  }
+  return WeightedGraph::from_edges(g.num_nodes(), std::move(edges));
+}
+
+class WeightedUnitEquivalenceTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(WeightedUnitEquivalenceTest, MatchesClusterOnUnitWeights) {
+  const auto& [name, graph] = GetParam();
+  const WeightedGraph wg = WeightedGraph::from_unit_weights(graph);
+
+  ClusterOptions copts;
+  copts.seed = 7;
+  const Clustering plain = cluster(graph, 2, copts);
+
+  WeightedClusterOptions wopts;
+  wopts.seed = 7;
+  const WeightedClustering weighted = weighted_cluster(wg, 2, wopts);
+
+  EXPECT_EQ(weighted.assignment, plain.assignment) << name;
+  EXPECT_EQ(weighted.centers, plain.centers) << name;
+  ASSERT_EQ(weighted.dist_to_center.size(), plain.dist_to_center.size());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(weighted.dist_to_center[v], plain.dist_to_center[v])
+        << name << " node " << v;
+    EXPECT_EQ(weighted.hops_to_center[v], plain.dist_to_center[v])
+        << name << " node " << v;  // unit weights: hops == weighted dist
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WeightedUnitEquivalenceTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+class WeightedClusterPropertyTest
+    : public ::testing::TestWithParam<testutil::NamedGraph> {};
+
+TEST_P(WeightedClusterPropertyTest, ValidPartitionWithBoundedRadii) {
+  const auto& [name, graph] = GetParam();
+  const WeightedGraph wg = weighted_version(graph, 13);
+  WeightedClusterOptions opts;
+  opts.seed = 11;
+  const WeightedClustering c = weighted_cluster(wg, 2, opts);
+  EXPECT_TRUE(c.validate(wg)) << name;
+
+  // Weighted radius never exceeds the weighted diameter; hop radius never
+  // exceeds the weighted radius (weights >= 1).
+  const Weight wdiam = weighted_diameter_exact(wg);
+  EXPECT_LE(c.max_weighted_radius(), wdiam) << name;
+  EXPECT_LE(c.max_hop_radius(), c.max_weighted_radius()) << name;
+
+  // Weighted distance dominates the true weighted shortest path.
+  const auto exact = dijkstra(wg, c.centers[c.assignment[0]]);
+  EXPECT_GE(c.dist_to_center[0], exact[0]) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WeightedClusterPropertyTest,
+    ::testing::ValuesIn(testutil::small_connected_corpus()),
+    [](const ::testing::TestParamInfo<testutil::NamedGraph>& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(WeightedCluster, DeterministicForSeed) {
+  const WeightedGraph g = weighted_version(gen::grid(25, 25), 3);
+  WeightedClusterOptions opts;
+  opts.seed = 5;
+  const WeightedClustering a = weighted_cluster(g, 4, opts);
+  const WeightedClustering b = weighted_cluster(g, 4, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+}
+
+TEST(WeightedCluster, HeavyEdgeActsAsBarrier) {
+  // Path 0-1-2-3-4-5 with a weight-100 middle edge: growing from both
+  // sides, the wavefront crosses the barrier only after 100 clock units,
+  // so the two halves end in different clusters.
+  const WeightedGraph g = WeightedGraph::from_edges(
+      6, {{0, 1, 1}, {1, 2, 1}, {2, 3, 100}, {3, 4, 1}, {4, 5, 1}});
+  WeightedClusterOptions opts;
+  opts.seed = 1;
+  opts.threshold_constant = 0.5;  // force the wave loop to run
+  // tau large: both endpoints likely selected in the first wave; but the
+  // deterministic property we check only needs validity + barrier.
+  const WeightedClustering c = weighted_cluster(g, 2, opts);
+  EXPECT_TRUE(c.validate(g));
+  if (c.assignment[2] == c.assignment[3]) {
+    // Same cluster means the 100-weight edge was traversed.
+    EXPECT_GE(c.max_weighted_radius(), 100u);
+  }
+}
+
+TEST(WeightedCluster, SingleNodeAndTinyGraphs) {
+  const WeightedGraph g1 =
+      WeightedGraph::from_unit_weights(gen::path(1));
+  const WeightedClustering c1 = weighted_cluster(g1, 1, {});
+  EXPECT_EQ(c1.num_clusters(), 1u);
+  EXPECT_TRUE(c1.validate(g1));
+
+  const WeightedGraph g10 =
+      WeightedGraph::from_unit_weights(gen::path(10));
+  const WeightedClustering c10 = weighted_cluster(g10, 4, {});
+  EXPECT_TRUE(c10.validate(g10));
+}
+
+TEST(WeightedClusterDeathTest, RejectsZeroWeights) {
+  const WeightedGraph g = WeightedGraph::from_edges(2, {{0, 1, 0}});
+  EXPECT_DEATH((void)weighted_cluster(g, 1, {}), "weights >= 1");
+}
+
+TEST(WeightedClusterDeathTest, RejectsTauZero)
+{
+  const WeightedGraph g = WeightedGraph::from_unit_weights(gen::path(4));
+  EXPECT_DEATH((void)weighted_cluster(g, 0, {}), "tau");
+}
+
+TEST(WeightedDiameterApprox, SandwichOnCorpus) {
+  for (const auto& [name, graph] : testutil::small_connected_corpus()) {
+    if (graph.num_nodes() > 700) continue;  // keep Dijkstra APSP cheap
+    const WeightedGraph wg = weighted_version(graph, 17);
+    const Weight truth = weighted_diameter_exact(wg);
+    WeightedClusterOptions opts;
+    opts.seed = 19;
+    const WeightedDiameterApprox a =
+        approximate_weighted_diameter(wg, 2, opts);
+    EXPECT_GE(a.upper_bound, truth) << name;
+    // Generous polylog sanity ceiling (log³n with constant 16).
+    const double logn =
+        std::max(2.0, std::log2(static_cast<double>(graph.num_nodes())));
+    EXPECT_LE(static_cast<double>(a.upper_bound),
+              16.0 * truth * logn * logn * logn)
+        << name;
+  }
+}
+
+TEST(WeightedDiameterApprox, ExactOnUnitWeightsMatchesUnweightedPipeline) {
+  const Graph g = gen::grid(20, 20);
+  const WeightedGraph wg = WeightedGraph::from_unit_weights(g);
+  WeightedClusterOptions opts;
+  opts.seed = 23;
+  const WeightedDiameterApprox a = approximate_weighted_diameter(wg, 4, opts);
+  EXPECT_GE(a.upper_bound, 38u);  // true diameter of the 20x20 grid
+  EXPECT_EQ(a.max_hop_radius, a.max_weighted_radius);
+}
+
+}  // namespace
+}  // namespace gclus

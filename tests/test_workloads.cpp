@@ -1,0 +1,98 @@
+// Tests for the workload registry: every dataset loads, is connected,
+// deterministic, and sits in its intended structural regime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+#include "graph/properties.hpp"
+#include "workloads/datasets.hpp"
+
+namespace gclus::workloads {
+namespace {
+
+TEST(Workloads, RegistryHasCanonicalOrder) {
+  const auto& names = dataset_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "social-large");
+  EXPECT_EQ(names.back(), "mesh");
+}
+
+class DatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTest, LoadsConnectedAndDeterministic) {
+  const Dataset a = load_dataset(GetParam());
+  EXPECT_TRUE(is_connected(a.graph)) << GetParam();
+  EXPECT_GE(a.graph.num_nodes(), 64u);
+  EXPECT_FALSE(a.paper_name.empty());
+  const Dataset b = load_dataset(GetParam());
+  EXPECT_EQ(a.graph.neighbor_array(), b.graph.neighbor_array());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DatasetTest,
+                         ::testing::ValuesIn(dataset_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(Workloads, SocialGraphsHaveHeavyTails) {
+  for (const char* name : {"social-large", "social-small"}) {
+    const Dataset d = load_dataset(name);
+    EXPECT_FALSE(d.large_diameter);
+    const auto stats = degree_stats(d.graph);
+    EXPECT_GT(static_cast<double>(stats.max_degree), 8.0 * stats.avg_degree)
+        << name;
+  }
+}
+
+TEST(Workloads, RoadGraphsAreSparse) {
+  for (const char* name : {"road-a", "road-b", "road-c"}) {
+    const Dataset d = load_dataset(name);
+    EXPECT_TRUE(d.large_diameter);
+    const auto stats = degree_stats(d.graph);
+    EXPECT_LT(stats.avg_degree, 4.5) << name;
+    EXPECT_LE(stats.max_degree, 8u) << name;
+  }
+}
+
+TEST(Workloads, MeshIsTheGrid) {
+  const Dataset d = load_dataset("mesh");
+  const auto stats = degree_stats(d.graph);
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_EQ(stats.min_degree, 2u);
+}
+
+TEST(Workloads, DiameterRegimesSeparate) {
+  // Social diameters are orders of magnitude below road/mesh diameters —
+  // the separation the entire evaluation narrative rests on.  Use the
+  // double-sweep lower bound (cheap) for the large-diameter side.
+  const Dataset social = load_dataset("social-large");
+  const Dataset road = load_dataset("road-a");
+  const Dist social_diam = exact_diameter(social.graph).diameter;
+  const Dist road_lb = double_sweep_lower_bound(road.graph);
+  EXPECT_LT(social_diam, 40u);
+  EXPECT_GT(road_lb, 10u * social_diam);
+}
+
+TEST(WorkloadsDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH((void)load_dataset("no-such-dataset"), "unknown dataset");
+}
+
+TEST(Workloads, ExpanderPathComposite) {
+  const Graph g = make_expander_path(8192);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_nodes(), 8192u);
+  // Diameter is dominated by the ~sqrt(n) tail.
+  EXPECT_GE(double_sweep_lower_bound(g), 88u);
+}
+
+TEST(Workloads, ScaleIsClampedAndPositive) {
+  const double s = workload_scale();
+  EXPECT_GE(s, 0.05);
+  EXPECT_LE(s, 64.0);
+}
+
+}  // namespace
+}  // namespace gclus::workloads
