@@ -6,7 +6,167 @@
 #include <map>
 #include <mutex>
 
+#include "common/check.hpp"
+
 namespace gclus::bench {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  GCLUS_CHECK(kind_ == Kind::kObject, "Json::set on a non-object");
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return set(key, std::move(j));
+}
+
+Json& Json::set(const std::string& key, std::uint64_t v) {
+  Json j;
+  j.kind_ = Kind::kInteger;
+  j.integer_ = v;
+  return set(key, std::move(j));
+}
+
+Json& Json::set(const std::string& key, const std::string& v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = v;
+  return set(key, std::move(j));
+}
+
+Json& Json::set(const std::string& key, const char* v) {
+  return set(key, std::string(v));
+}
+
+Json& Json::set(const std::string& key, bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return set(key, std::move(j));
+}
+
+Json& Json::push(Json v) {
+  GCLUS_CHECK(kind_ == Kind::kArray, "Json::push on a non-array");
+  elements_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int depth) const {
+  const std::string indent(2 * (depth + 1), ' ');
+  const std::string closing_indent(2 * depth, ' ');
+  switch (kind_) {
+    case Kind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", number_);
+      out += buf;
+      break;
+    }
+    case Kind::kInteger:
+      out += std::to_string(integer_);
+      break;
+    case Kind::kString:
+      append_escaped(out, string_);
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kArray:
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += indent;
+        elements_[i].dump_to(out, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      out += closing_indent + "]";
+      break;
+    case Kind::kObject:
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += indent;
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dump_to(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      out += closing_indent + "}";
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  return out;
+}
+
+void write_json_file(const std::string& path, const Json& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  GCLUS_CHECK(f != nullptr, "cannot open ", path, " for writing");
+  const std::string text = root.dump();
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int newline_ok = std::fputc('\n', f);
+  GCLUS_CHECK(written == text.size() && newline_ok != EOF,
+              "short write to ", path);
+  GCLUS_CHECK(std::fclose(f) == 0, "close failed for ", path);
+}
 
 const BenchDataset& load_bench_dataset(const std::string& name) {
   static std::map<std::string, BenchDataset> cache;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/clustering.hpp"
@@ -58,6 +59,47 @@ class TablePrinter {
 /// Formats a double with `digits` decimals.
 std::string fmt(double v, int digits = 2);
 std::string fmt_u(std::uint64_t v);
+
+/// Minimal ordered JSON document builder for bench artifacts
+/// (BENCH_*.json files the perf-trajectory tooling consumes).  Supports
+/// objects, arrays, numbers, strings, and booleans; insertion order is
+/// preserved.
+class Json {
+ public:
+  static Json object();
+  static Json array();
+
+  /// Object field setters (chainable).  Using set() on a non-object or
+  /// push() on a non-array aborts via GCLUS_CHECK.
+  Json& set(const std::string& key, Json v);
+  Json& set(const std::string& key, double v);
+  Json& set(const std::string& key, std::uint64_t v);
+  Json& set(const std::string& key, const std::string& v);
+  Json& set(const std::string& key, const char* v);
+  Json& set(const std::string& key, bool v);
+
+  /// Array element appenders (chainable).
+  Json& push(Json v);
+
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInteger, kString, kBool };
+  Kind kind_ = Kind::kObject;
+  double number_ = 0.0;
+  std::uint64_t integer_ = 0;
+  bool bool_ = false;
+  std::string string_;
+  std::vector<Json> elements_;                           // kArray
+  std::vector<std::pair<std::string, Json>> members_;    // kObject
+
+  void dump_to(std::string& out, int depth) const;
+};
+
+/// Writes `root` to `path` (plus a trailing newline).  Aborts on I/O
+/// failure — bench artifacts must never be silently incomplete.
+void write_json_file(const std::string& path, const Json& root);
 
 /// Granularity choice used by Tables 2/3: the paper targets ~n/1000
 /// clusters on small-diameter graphs and ~n/100 on large-diameter graphs

@@ -42,7 +42,7 @@ Clustering mpx(const Graph& g, double beta, const MpxOptions& options) {
   // cluster ids (node order, like CLUSTER's batches).
   for (auto& bucket : starts) std::sort(bucket.begin(), bucket.end());
 
-  GrowthState state(g, pool);
+  GrowthState state(g, pool, options.growth);
   std::size_t t = 0;
   while (state.covered_count() < n) {
     if (t < starts.size()) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "common/traversal.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 #include "par/thread_pool.hpp"
@@ -27,6 +28,9 @@ namespace gclus::baselines {
 struct MpxOptions {
   std::uint64_t seed = 1;
   ThreadPool* pool = nullptr;
+
+  /// Direction-optimizing growth-engine knobs (push/pull heuristic).
+  GrowthOptions growth = default_growth_options();
 };
 
 /// Runs MPX with exponential-distribution parameter `beta` (> 0).  Larger

@@ -32,17 +32,12 @@ Clustering random_centers_clustering(const Graph& g, NodeId k,
   }
   std::sort(centers.begin(), centers.end());
 
-  GrowthState state(g, pool);
+  GrowthState state(g, pool, options.growth);
   for (const NodeId c : centers) state.add_center(c);
   while (state.covered_count() < n) {
     if (state.frontier_empty()) {
       // A component with no sampled center: cover it with a fallback.
-      for (NodeId v = 0; v < n; ++v) {
-        if (!state.is_covered(v)) {
-          state.add_center(v);
-          break;
-        }
-      }
+      state.add_center(state.first_uncovered());
     }
     state.step();
   }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/traversal.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 #include "par/thread_pool.hpp"
@@ -22,6 +23,9 @@ namespace gclus::baselines {
 struct RandomCentersOptions {
   std::uint64_t seed = 1;
   ThreadPool* pool = nullptr;
+
+  /// Direction-optimizing growth-engine knobs (push/pull heuristic).
+  GrowthOptions growth = default_growth_options();
 };
 
 /// Grows a clustering from k uniformly sampled centers.  On disconnected

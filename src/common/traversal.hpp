@@ -1,0 +1,84 @@
+// Direction-optimizing traversal knobs shared by the cluster-growth engine
+// and the level-synchronous BFS.
+//
+// Both kernels expand a frontier one hop per synchronous step and can do so
+// in either direction:
+//   * push (top-down): frontier nodes write claims to their uncovered
+//     neighbors — work proportional to the frontier's degree sum;
+//   * pull (bottom-up): uncovered nodes scan their own neighbors for a
+//     covered claimant — work proportional to the uncovered degree sum,
+//     with no write contention.
+// The classic degree-sum heuristic (Beamer et al., "Direction-Optimizing
+// Breadth-First Search") switches per step: go pull when the frontier's
+// degree sum exceeds 1/alpha of the uncovered degree sum, and back to push
+// once the frontier shrinks below 1/beta of the node count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gclus {
+
+enum class TraversalMode {
+  kAuto,      // per-step degree-sum heuristic (the default)
+  kPushOnly,  // always top-down (the classic engine; reference behavior)
+  kPullOnly,  // always bottom-up (useful for testing and ablations)
+};
+
+struct GrowthOptions {
+  TraversalMode mode = TraversalMode::kAuto;
+
+  /// Switch push -> pull when frontier_degree_sum > uncovered_degree_sum
+  /// / alpha.  Larger alpha switches to pull earlier.
+  double alpha = 15.0;
+
+  /// Switch pull -> push when the frontier holds fewer than num_nodes /
+  /// beta nodes.  Larger beta switches back to push later.
+  double beta = 18.0;
+
+  /// Log every per-step direction decision to stderr.
+  bool log_decisions = false;
+
+  /// Keep a per-step GrowthStepLog in GrowthStats::steps.  Off by default:
+  /// a growth over a high-diameter graph executes one step per hop, and
+  /// the log would grow with the diameter for callers that never read it.
+  /// The scalar push/pull counters are always maintained.
+  bool record_step_log = false;
+};
+
+/// Returns the mnemonic name of a mode ("push", "pull", "auto").
+const char* traversal_mode_name(TraversalMode mode);
+
+/// Per-direction step/level counters reported by the traversal kernels.
+struct DirectionCounts {
+  std::size_t push = 0;
+  std::size_t pull = 0;
+};
+
+/// The per-step direction decision shared by the growth engine and BFS:
+/// pinned modes win outright; under kAuto the hysteresis state machine
+/// switches push -> pull when the frontier degree sum exceeds
+/// remaining_degree_sum / alpha and back once the frontier shrinks below
+/// num_nodes / beta.  `pulling` is the previous step's decision; returns
+/// the new one.
+[[nodiscard]] bool decide_direction(bool pulling, std::size_t frontier_size,
+                                    std::size_t num_nodes,
+                                    std::uint64_t frontier_degree_sum,
+                                    std::uint64_t remaining_degree_sum,
+                                    const GrowthOptions& options);
+
+/// Shared policy for the lazily-compacted uncovered/unvisited worklists:
+/// compact once more than half the entries are stale, but never bother
+/// below 1024 entries.
+[[nodiscard]] inline bool worklist_needs_compaction(std::size_t size,
+                                                    std::size_t remaining) {
+  return size >= 1024 && size > 2 * remaining;
+}
+
+/// Process-wide default options: GrowthOptions{} overridden by the
+/// GCLUS_GROWTH_MODE (push|pull|auto), GCLUS_GROWTH_ALPHA,
+/// GCLUS_GROWTH_BETA, and GCLUS_GROWTH_LOG environment variables, read
+/// once on first use.
+GrowthOptions default_growth_options();
+
+}  // namespace gclus

@@ -35,12 +35,11 @@ Clustering cluster(const Graph& g, std::uint32_t tau,
   ThreadPool& pool =
       options.pool != nullptr ? *options.pool : ThreadPool::global();
 
-  GrowthState state(g, pool);
+  GrowthState state(g, pool, options.growth);
   const double logn = log2_clamped(n);
   const double stop_threshold = options.threshold_constant * tau * logn;
 
   std::size_t iteration = 0;
-  std::vector<std::vector<NodeId>> selected_per_worker(pool.num_threads());
 
   while (state.uncovered_count() > 0 &&
          static_cast<double>(state.uncovered_count()) >= stop_threshold) {
@@ -50,33 +49,11 @@ Clustering cluster(const Graph& g, std::uint32_t tau,
 
     // --- Select the new batch of centers among uncovered nodes. ---
     // The Bernoulli draw is keyed on (seed, iteration, node): deterministic
-    // and schedule-independent.  Selected nodes are gathered per worker,
-    // then sorted so cluster ids are assigned in node order.
-    for (auto& s : selected_per_worker) s.clear();
-    {
-      std::atomic<std::size_t> cursor{0};
-      pool.run_on_workers([&](std::size_t worker) {
-        auto& out = selected_per_worker[worker];
-        constexpr std::size_t kGrain = 2048;
-        for (;;) {
-          const std::size_t lo =
-              cursor.fetch_add(kGrain, std::memory_order_relaxed);
-          if (lo >= n) break;
-          const std::size_t hi = std::min<std::size_t>(lo + kGrain, n);
-          for (std::size_t v = lo; v < hi; ++v) {
-            if (state.is_covered(static_cast<NodeId>(v))) continue;
-            if (keyed_bernoulli(options.seed, iteration, v, p)) {
-              out.push_back(static_cast<NodeId>(v));
-            }
-          }
-        }
-      });
-    }
-    std::vector<NodeId> selected;
-    for (const auto& s : selected_per_worker) {
-      selected.insert(selected.end(), s.begin(), s.end());
-    }
-    std::sort(selected.begin(), selected.end());
+    // and schedule-independent.  Sampling sweeps the engine's uncovered
+    // worklist instead of the full node range, so late rounds stop paying
+    // O(n) per batch; cluster ids are assigned in node order.
+    const std::vector<NodeId> selected =
+        sample_uncovered_centers(state, pool, options.seed, iteration, p);
     for (const NodeId c : selected) state.add_center(c);
 
     // Progress guard: with no active frontier and an empty batch the grow
@@ -84,12 +61,8 @@ Clustering cluster(const Graph& g, std::uint32_t tau,
     // where all active clusters exhausted their components).  Inject one
     // deterministic center — the smallest uncovered node.
     if (state.frontier_empty()) {
-      for (NodeId v = 0; v < n; ++v) {
-        if (!state.is_covered(v)) {
-          state.add_center(v);
-          break;
-        }
-      }
+      const NodeId v = state.first_uncovered();
+      if (v != kInvalidNode) state.add_center(v);
     }
 
     // --- Grow all clusters until half the uncovered nodes are covered. ---

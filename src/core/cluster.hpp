@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/traversal.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 #include "par/thread_pool.hpp"
@@ -31,6 +32,9 @@ struct ClusterOptions {
 
   /// Thread pool; nullptr means the process-global pool.
   ThreadPool* pool = nullptr;
+
+  /// Direction-optimizing growth-engine knobs (push/pull heuristic).
+  GrowthOptions growth = default_growth_options();
 };
 
 /// Runs CLUSTER(τ).  Works on connected and disconnected graphs (§3.2

@@ -36,8 +36,7 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
   const auto log_n = static_cast<std::size_t>(
       std::ceil(std::log2(std::max<double>(2.0, n))));
 
-  GrowthState state(g, pool);
-  std::vector<std::vector<NodeId>> selected_per_worker(pool.num_threads());
+  GrowthState state(g, pool, options.growth);
 
   std::size_t iterations = 0;
   for (std::size_t i = 1; i <= log_n && state.uncovered_count() > 0; ++i) {
@@ -45,31 +44,11 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
     const double p = std::min(
         1.0, std::ldexp(1.0, static_cast<int>(i)) / static_cast<double>(n));
 
-    for (auto& s : selected_per_worker) s.clear();
-    {
-      std::atomic<std::size_t> cursor{0};
-      pool.run_on_workers([&](std::size_t worker) {
-        auto& out = selected_per_worker[worker];
-        constexpr std::size_t kGrain = 2048;
-        for (;;) {
-          const std::size_t lo =
-              cursor.fetch_add(kGrain, std::memory_order_relaxed);
-          if (lo >= n) break;
-          const std::size_t hi = std::min<std::size_t>(lo + kGrain, n);
-          for (std::size_t v = lo; v < hi; ++v) {
-            if (state.is_covered(static_cast<NodeId>(v))) continue;
-            if (keyed_bernoulli(options.seed, 0x5EC0 + i, v, p)) {
-              out.push_back(static_cast<NodeId>(v));
-            }
-          }
-        }
-      });
-    }
-    std::vector<NodeId> selected;
-    for (const auto& s : selected_per_worker) {
-      selected.insert(selected.end(), s.begin(), s.end());
-    }
-    std::sort(selected.begin(), selected.end());
+    // Sample from the engine's uncovered worklist rather than rescanning
+    // all n nodes; the keyed draw makes the selected set independent of
+    // the sweep order.
+    const std::vector<NodeId> selected =
+        sample_uncovered_centers(state, pool, options.seed, 0x5EC0 + i, p);
     for (const NodeId c : selected) state.add_center(c);
 
     state.grow_steps(quota);

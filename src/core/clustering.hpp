@@ -37,6 +37,11 @@ struct Clustering {
   /// of Lemma 3, which governs the MR round complexity.
   std::size_t growth_steps = 0;
 
+  /// Direction split of growth_steps under the direction-optimizing
+  /// engine: top-down (push) vs bottom-up (pull) steps.
+  std::size_t push_steps = 0;
+  std::size_t pull_steps = 0;
+
   /// Number of batch iterations executed (center-selection waves).
   std::size_t iterations = 0;
 

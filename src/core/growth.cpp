@@ -1,23 +1,34 @@
 #include "core/growth.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "par/parallel_for.hpp"
 
 namespace gclus {
 
-GrowthState::GrowthState(const Graph& g, ThreadPool& pool)
+GrowthState::GrowthState(const Graph& g, ThreadPool& pool,
+                         GrowthOptions options)
     : g_(&g),
       pool_(&pool),
+      options_(options),
       claim_(g.num_nodes()),
       covered_(g.num_nodes(), 0),
       committing_(g.num_nodes()),
       dist_(g.num_nodes(), kInfDist),
+      frontier_bits_((g.num_nodes() + 63) / 64),
       proposals_(pool.num_threads()),
-      next_frontier_(pool.num_threads()) {
+      next_frontier_(pool.num_threads()),
+      uncovered_candidates_(g.num_nodes()),
+      uncovered_degree_sum_(g.num_half_edges()) {
   parallel_for(pool, 0, g.num_nodes(), [&](std::size_t v) {
     claim_[v].store(kUnclaimed, std::memory_order_relaxed);
+    uncovered_candidates_[v] = static_cast<NodeId>(v);
+  });
+  parallel_for(pool, 0, frontier_bits_.size(), [&](std::size_t w) {
+    frontier_bits_[w].store(0, std::memory_order_relaxed);
   });
 }
 
@@ -35,8 +46,18 @@ ClusterId GrowthState::add_center(NodeId v, std::uint64_t priority) {
   centers_.push_back(v);
   activation_.push_back(static_cast<std::uint32_t>(steps_executed_));
   frontier_.push_back(v);
+  set_frontier_bit(v);
+  frontier_degree_sum_ += g_->degree(v);
+  uncovered_degree_sum_ -= g_->degree(v);
   ++covered_count_;
   return cid;
+}
+
+bool GrowthState::decide_pull() {
+  pulling_ = decide_direction(pulling_, frontier_.size(), g_->num_nodes(),
+                              frontier_degree_sum_, uncovered_degree_sum_,
+                              options_);
+  return pulling_;
 }
 
 NodeId GrowthState::step() {
@@ -44,13 +65,48 @@ NodeId GrowthState::step() {
   ++steps_executed_;
   const auto step_index = static_cast<std::uint32_t>(steps_executed_);
 
+  const bool pull = decide_pull();
+  if (options_.log_decisions) {
+    std::fprintf(stderr,
+                 "[growth] step=%u mode=%s frontier=%zu fdeg=%llu udeg=%llu\n",
+                 step_index, pull ? "pull" : "push", frontier_.size(),
+                 static_cast<unsigned long long>(frontier_degree_sum_),
+                 static_cast<unsigned long long>(uncovered_degree_sum_));
+  }
+  GrowthStepLog log;
+  if (options_.record_step_log) {
+    log.step = step_index;
+    log.pull = pull;
+    log.frontier_size = static_cast<NodeId>(frontier_.size());
+    log.frontier_degree_sum = frontier_degree_sum_;
+    log.uncovered_degree_sum = uncovered_degree_sum_;
+  }
+
+  const NodeId newly = pull ? step_pull(step_index) : step_push(step_index);
+
+  if (options_.record_step_log) {
+    log.newly_covered = newly;
+    stats_.steps.push_back(log);
+  }
+  if (pull) {
+    ++stats_.pull_steps;
+  } else {
+    ++stats_.push_steps;
+  }
+  covered_count_ += newly;
+  return newly;
+}
+
+NodeId GrowthState::step_push(std::uint32_t step_index) {
   // Phase 1 — proposals: every frontier node bids for its uncovered
   // neighbors with its cluster's claim key; fetch-min keeps the best bid.
   for (auto& p : proposals_) p.clear();
+  std::atomic<std::uint64_t> edges_scanned{0};
   {
     std::atomic<std::size_t> cursor{0};
     pool_->run_on_workers([&](std::size_t worker) {
       auto& out = proposals_[worker];
+      std::uint64_t scanned = 0;
       constexpr std::size_t kGrain = 64;
       for (;;) {
         const std::size_t lo =
@@ -60,25 +116,30 @@ NodeId GrowthState::step() {
         for (std::size_t i = lo; i < hi; ++i) {
           const NodeId u = frontier_[i];
           const std::uint64_t key = claim_[u].load(std::memory_order_relaxed);
+          scanned += g_->degree(u);
           for (const NodeId v : g_->neighbors(u)) {
             if (covered_[v] != 0) continue;
             if (atomic_fetch_min(claim_[v], key)) out.push_back(v);
           }
         }
       }
+      edges_scanned.fetch_add(scanned, std::memory_order_relaxed);
     });
   }
+  stats_.push_edges_scanned += edges_scanned.load();
 
   // Phase 2 — commit: each proposed node is finalized exactly once (the
   // atomic-flag latch dedups multi-worker proposals), its distance derived
   // from the winning cluster's activation step.
   for (auto& nf : next_frontier_) nf.clear();
   std::atomic<NodeId> newly{0};
+  std::atomic<std::uint64_t> next_degree_sum{0};
   {
     pool_->run_on_workers([&](std::size_t worker) {
       auto& in = proposals_[worker];
       auto& out = next_frontier_[worker];
       NodeId local_new = 0;
+      std::uint64_t local_deg = 0;
       for (const NodeId v : in) {
         if (committing_[v].test_and_set(std::memory_order_relaxed)) continue;
         const std::uint64_t key = claim_[v].load(std::memory_order_relaxed);
@@ -87,17 +148,108 @@ NodeId GrowthState::step() {
         dist_[v] = static_cast<Dist>(step_index - activation_[c]);
         out.push_back(v);
         ++local_new;
+        local_deg += g_->degree(v);
       }
       newly.fetch_add(local_new, std::memory_order_relaxed);
+      next_degree_sum.fetch_add(local_deg, std::memory_order_relaxed);
     });
   }
 
-  frontier_.clear();
-  for (const auto& nf : next_frontier_) {
-    frontier_.insert(frontier_.end(), nf.begin(), nf.end());
-  }
-  covered_count_ += newly.load();
+  install_next_frontier(next_degree_sum.load());
   return newly.load();
+}
+
+NodeId GrowthState::step_pull(std::uint32_t step_index) {
+  maybe_compact_candidates();
+
+  // Scan phase: every uncovered node takes the minimum claim key over its
+  // frontier neighbors, tested against the packed frontier bitmap (stable
+  // for the whole step — bits change only in install_next_frontier, behind
+  // a pool barrier).  Between steps every covered neighbor of an uncovered
+  // node belongs to the current frontier (see the header), so this minimum
+  // equals the push-side fetch-min, and same-step multi-hop claims are
+  // impossible because newly claimed nodes are not in the bitmap.
+  for (auto& nf : next_frontier_) nf.clear();
+  std::atomic<NodeId> newly{0};
+  std::atomic<std::uint64_t> next_degree_sum{0};
+  std::atomic<std::uint64_t> edges_scanned{0};
+  {
+    std::atomic<std::size_t> cursor{0};
+    pool_->run_on_workers([&](std::size_t worker) {
+      auto& out = next_frontier_[worker];
+      NodeId local_new = 0;
+      std::uint64_t local_deg = 0;
+      std::uint64_t scanned = 0;
+      constexpr std::size_t kGrain = 256;
+      for (;;) {
+        const std::size_t lo =
+            cursor.fetch_add(kGrain, std::memory_order_relaxed);
+        if (lo >= uncovered_candidates_.size()) break;
+        const std::size_t hi =
+            std::min(lo + kGrain, uncovered_candidates_.size());
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId v = uncovered_candidates_[i];
+          if (covered_[v] != 0) continue;
+          std::uint64_t best = kUnclaimed;
+          scanned += g_->degree(v);
+          for (const NodeId u : g_->neighbors(v)) {
+            if (!in_frontier(u)) continue;
+            const std::uint64_t key =
+                claim_[u].load(std::memory_order_relaxed);
+            best = std::min(best, key);
+          }
+          if (best == kUnclaimed) continue;
+          claim_[v].store(best, std::memory_order_relaxed);
+          dist_[v] = static_cast<Dist>(step_index -
+                                       activation_[key_cluster(best)]);
+          out.push_back(v);
+          ++local_new;
+          local_deg += g_->degree(v);
+        }
+      }
+      newly.fetch_add(local_new, std::memory_order_relaxed);
+      next_degree_sum.fetch_add(local_deg, std::memory_order_relaxed);
+      edges_scanned.fetch_add(scanned, std::memory_order_relaxed);
+    });
+  }
+  stats_.pull_edges_scanned += edges_scanned.load();
+
+  // Commit phase: flip the coverage flags behind the barrier.
+  install_next_frontier(next_degree_sum.load());
+  parallel_for(*pool_, 0, frontier_.size(),
+               [&](std::size_t i) { covered_[frontier_[i]] = 1; });
+  return newly.load();
+}
+
+void GrowthState::install_next_frontier(std::uint64_t next_degree_sum) {
+  parallel_for(*pool_, 0, frontier_.size(),
+               [&](std::size_t i) { clear_frontier_bit(frontier_[i]); });
+  parallel_concat(*pool_, next_frontier_, frontier_);
+  parallel_for(*pool_, 0, frontier_.size(),
+               [&](std::size_t i) { set_frontier_bit(frontier_[i]); });
+  frontier_degree_sum_ = next_degree_sum;
+  uncovered_degree_sum_ -= next_degree_sum;
+}
+
+void GrowthState::maybe_compact_candidates() {
+  if (!worklist_needs_compaction(uncovered_candidates_.size(),
+                                 uncovered_count())) {
+    return;
+  }
+  parallel_compact(*pool_, uncovered_candidates_,
+                   [&](NodeId v) { return covered_[v] == 0; });
+}
+
+const std::vector<NodeId>& GrowthState::uncovered_candidates() {
+  maybe_compact_candidates();
+  return uncovered_candidates_;
+}
+
+NodeId GrowthState::first_uncovered() {
+  for (const NodeId v : uncovered_candidates_) {
+    if (covered_[v] == 0) return v;
+  }
+  return kInvalidNode;
 }
 
 NodeId GrowthState::grow_steps(std::size_t steps) {
@@ -117,7 +269,10 @@ NodeId GrowthState::grow_until_covered(NodeId target_new) {
 }
 
 void GrowthState::add_singletons_for_uncovered() {
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+  // The candidate list is an ascending superset of the uncovered set, so
+  // singleton cluster ids are assigned in node order, exactly as a full
+  // range scan would.
+  for (const NodeId v : uncovered_candidates()) {
     if (covered_[v] == 0) add_center(v);
   }
 }
@@ -131,12 +286,42 @@ Clustering GrowthState::finish() && {
   out.dist_to_center = std::move(dist_);
   out.centers = std::move(centers_);
   out.growth_steps = steps_executed_;
+  out.push_steps = stats_.push_steps;
+  out.pull_steps = stats_.pull_steps;
   parallel_for(*pool_, 0, n, [&](std::size_t v) {
     out.assignment[v] =
         key_cluster(claim_[v].load(std::memory_order_relaxed));
   });
   finalize_cluster_stats(out);
   return out;
+}
+
+std::vector<NodeId> sample_uncovered_centers(GrowthState& state,
+                                             ThreadPool& pool,
+                                             std::uint64_t seed,
+                                             std::uint64_t draw_key,
+                                             double p) {
+  const auto& candidates = state.uncovered_candidates();
+  std::vector<std::vector<NodeId>> per_worker(pool.num_threads());
+  std::atomic<std::size_t> cursor{0};
+  pool.run_on_workers([&](std::size_t worker) {
+    auto& out = per_worker[worker];
+    constexpr std::size_t kGrain = 2048;
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(kGrain, std::memory_order_relaxed);
+      if (lo >= candidates.size()) break;
+      const std::size_t hi = std::min(lo + kGrain, candidates.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        const NodeId v = candidates[i];
+        if (state.is_covered(v)) continue;
+        if (keyed_bernoulli(seed, draw_key, v, p)) out.push_back(v);
+      }
+    }
+  });
+  std::vector<NodeId> selected;
+  parallel_concat(pool, per_worker, selected);
+  std::sort(selected.begin(), selected.end());
+  return selected;
 }
 
 }  // namespace gclus

@@ -9,14 +9,32 @@
 // priorities) — independent of thread schedule — which is what the
 // determinism and MR-equivalence tests rely on.
 //
-// Per-step work is proportional to the frontier's degree sum; a full
-// growth to cover the graph costs O(n + m) total claims.
+// The engine is direction-optimizing.  Each step runs in one of two
+// directions with identical claim semantics:
+//   * push (top-down): every frontier node bids its cluster key to its
+//     uncovered neighbors via atomic fetch-min — work proportional to the
+//     frontier's degree sum;
+//   * pull (bottom-up): every uncovered node scans its own neighbors for
+//     frontier claimants — membership tested against a packed frontier
+//     bitmap (1 bit/node, cache-resident even for dense frontiers) — and
+//     takes the minimum key locally, contention-free because each node
+//     writes only itself.
+// The two directions agree exactly: between steps every covered neighbor
+// of an uncovered node is a member of the current frontier (it was covered
+// in the immediately preceding step or activated as a center since), so
+// the pull-side minimum over frontier neighbors equals the push-side
+// fetch-min over frontier bids.  GrowthOptions picks the direction per
+// step with the classic degree-sum heuristic, or pins it for tests.
+//
+// Per-step work is proportional to the cheaper of the two degree sums; a
+// full growth to cover the graph costs O(n + m) total claims.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "common/traversal.hpp"
 #include "common/types.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
@@ -24,10 +42,30 @@
 
 namespace gclus {
 
+/// One per-step record of the direction decision and the degree sums that
+/// drove it (the raw data behind the bench JSON's decision log).
+struct GrowthStepLog {
+  std::uint32_t step = 0;
+  bool pull = false;
+  NodeId frontier_size = 0;
+  std::uint64_t frontier_degree_sum = 0;
+  std::uint64_t uncovered_degree_sum = 0;
+  NodeId newly_covered = 0;
+};
+
+struct GrowthStats {
+  std::size_t push_steps = 0;
+  std::size_t pull_steps = 0;
+  std::uint64_t push_edges_scanned = 0;
+  std::uint64_t pull_edges_scanned = 0;
+  std::vector<GrowthStepLog> steps;
+};
+
 class GrowthState {
  public:
   /// Starts with every node uncovered and no clusters.
-  explicit GrowthState(const Graph& g, ThreadPool& pool);
+  explicit GrowthState(const Graph& g, ThreadPool& pool,
+                       GrowthOptions options = default_growth_options());
 
   GrowthState(const GrowthState&) = delete;
   GrowthState& operator=(const GrowthState&) = delete;
@@ -62,6 +100,18 @@ class GrowthState {
   }
   [[nodiscard]] bool is_covered(NodeId v) const { return covered_[v] != 0; }
 
+  /// Per-step direction decisions and edge-scan counters.
+  [[nodiscard]] const GrowthStats& stats() const { return stats_; }
+
+  /// An ascending superset of the uncovered nodes, compacted lazily as
+  /// coverage grows — center sampling iterates this instead of rescanning
+  /// the full node range every round.  Entries may be stale (already
+  /// covered); callers must re-check is_covered().
+  [[nodiscard]] const std::vector<NodeId>& uncovered_candidates();
+
+  /// Smallest uncovered node, or kInvalidNode when fully covered.
+  [[nodiscard]] NodeId first_uncovered();
+
   /// Turns every still-uncovered node into a singleton cluster.
   void add_singletons_for_uncovered();
 
@@ -71,8 +121,30 @@ class GrowthState {
   static constexpr std::uint64_t kPriorityFromClusterId = ~std::uint64_t{0};
 
  private:
+  /// Applies GrowthOptions to pick this step's direction, with hysteresis
+  /// between the push->pull and pull->push thresholds.
+  [[nodiscard]] bool decide_pull();
+
+  /// Top-down step: frontier nodes fetch-min their keys into uncovered
+  /// neighbors, then proposals commit exactly once.
+  NodeId step_push(std::uint32_t step_index);
+
+  /// Bottom-up step: uncovered nodes take the minimum key over their
+  /// covered (== frontier) neighbors.  Coverage flags flip only after the
+  /// scan barrier so concurrent workers never observe same-step coverage.
+  NodeId step_pull(std::uint32_t step_index);
+
+  /// Rebuilds frontier_ from the per-worker buffers (prefix-sum parallel
+  /// compaction) and refreshes the degree-sum bookkeeping.
+  void install_next_frontier(std::uint64_t next_degree_sum);
+
+  /// Drops covered entries from uncovered_candidates_ once more than half
+  /// are stale; amortized O(n) over a full growth.
+  void maybe_compact_candidates();
+
   const Graph* g_;
   ThreadPool* pool_;
+  GrowthOptions options_;
 
   /// Claim key per node: (priority << 32) | cluster_id while racing; the
   /// cluster id is the low 32 bits.  kUnclaimed when untouched.
@@ -84,13 +156,40 @@ class GrowthState {
   std::vector<std::uint32_t> activation_;    // per cluster: steps_executed_
                                              // at activation time
   std::vector<NodeId> frontier_;
+  /// Dense frontier representation: bit v set iff v is in frontier_.
+  /// Pull steps test it instead of the byte-wide covered_ array (8x less
+  /// memory traffic on the neighbor scan).  Atomic words because distinct
+  /// frontier nodes can share a word during the parallel set/clear passes.
+  std::vector<std::atomic<std::uint64_t>> frontier_bits_;
   std::vector<std::vector<NodeId>> proposals_;     // per worker
   std::vector<std::vector<NodeId>> next_frontier_; // per worker
 
+  /// Ascending superset of the uncovered nodes (see uncovered_candidates).
+  std::vector<NodeId> uncovered_candidates_;
+
+  std::uint64_t frontier_degree_sum_ = 0;   // over current frontier
+  std::uint64_t uncovered_degree_sum_ = 0;  // over uncovered nodes
+  bool pulling_ = false;                    // hysteresis state for kAuto
+
   NodeId covered_count_ = 0;
   std::size_t steps_executed_ = 0;
+  GrowthStats stats_;
 
   static constexpr std::uint64_t kUnclaimed = ~std::uint64_t{0};
+
+  void set_frontier_bit(NodeId v) {
+    frontier_bits_[v >> 6].fetch_or(1ULL << (v & 63),
+                                    std::memory_order_relaxed);
+  }
+  void clear_frontier_bit(NodeId v) {
+    frontier_bits_[v >> 6].fetch_and(~(1ULL << (v & 63)),
+                                     std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool in_frontier(NodeId v) const {
+    return (frontier_bits_[v >> 6].load(std::memory_order_relaxed) >>
+            (v & 63)) &
+           1ULL;
+  }
 
   [[nodiscard]] static std::uint64_t make_key(ClusterId c,
                                               std::uint64_t priority) {
@@ -100,5 +199,15 @@ class GrowthState {
     return static_cast<ClusterId>(key & 0xffffffffULL);
   }
 };
+
+/// Samples every uncovered node independently with probability `p`, using
+/// the deterministic draw keyed_bernoulli(seed, draw_key, node) — the
+/// selected set depends only on the key inputs, never on the sweep
+/// schedule.  Sweeps the engine's uncovered worklist in parallel and
+/// returns the selected nodes in ascending order, ready for add_center in
+/// node order.  Shared by CLUSTER's and CLUSTER2's batch selection.
+[[nodiscard]] std::vector<NodeId> sample_uncovered_centers(
+    GrowthState& state, ThreadPool& pool, std::uint64_t seed,
+    std::uint64_t draw_key, double p);
 
 }  // namespace gclus

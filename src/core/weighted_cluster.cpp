@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/traversal.hpp"
 
 namespace gclus {
 
@@ -146,13 +147,32 @@ WeightedClustering weighted_cluster(const WeightedGraph& g, std::uint32_t tau,
   const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
   const double stop_threshold = options.threshold_constant * tau * logn;
 
+  // Ascending superset of the uncovered nodes, compacted once more than
+  // half the entries go stale — center sampling then stops rescanning all
+  // n nodes every iteration (mirrors GrowthState::uncovered_candidates).
+  std::vector<NodeId> candidates(n);
+  for (NodeId v = 0; v < n; ++v) candidates[v] = v;
+  auto compact_candidates = [&] {
+    if (!worklist_needs_compaction(candidates.size(),
+                                   static_cast<std::size_t>(n - covered))) {
+      return;
+    }
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](NodeId v) {
+                         return out.assignment[v] != kNoCluster;
+                       }),
+        candidates.end());
+  };
+
   std::size_t iteration = 0;
   while (covered < n && static_cast<double>(n - covered) >= stop_threshold) {
     const NodeId uncovered = n - covered;
     const double p = std::min(
         1.0, options.selection_constant * tau * logn / uncovered);
+    compact_candidates();
     std::vector<NodeId> selected;
-    for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId v : candidates) {
       if (out.assignment[v] == kNoCluster &&
           keyed_bernoulli(options.seed, iteration, v, p)) {
         selected.push_back(v);
@@ -163,7 +183,7 @@ WeightedClustering weighted_cluster(const WeightedGraph& g, std::uint32_t tau,
     if (pq.empty() && covered < n && selected.empty()) {
       // Progress guard (disconnected graphs / unlucky waves), as in
       // CLUSTER: inject the smallest uncovered node.
-      for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId v : candidates) {
         if (out.assignment[v] == kNoCluster) {
           add_center(v);
           break;
@@ -179,7 +199,7 @@ WeightedClustering weighted_cluster(const WeightedGraph& g, std::uint32_t tau,
     ++iteration;
   }
 
-  for (NodeId v = 0; v < n; ++v) {
+  for (const NodeId v : candidates) {
     if (out.assignment[v] == kNoCluster) add_center(v);
   }
 

@@ -2,10 +2,17 @@
 // and multi-source variants.  These are both building blocks (cluster
 // growth is multi-source BFS at heart) and the exact-answer reference the
 // tests and the BFS diameter baseline rely on.
+//
+// The parallel kernel is direction-optimizing: sparse levels expand
+// top-down (frontier nodes CAS their unvisited neighbors), dense levels
+// bottom-up (unvisited nodes scan for a parent in the current level and
+// stop at the first hit); GrowthOptions tunes or pins the per-level
+// choice.
 #pragma once
 
 #include <vector>
 
+#include "common/traversal.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 #include "par/thread_pool.hpp"
@@ -22,10 +29,14 @@ namespace gclus {
 /// Level-synchronous parallel BFS.  Returns the same distances as
 /// bfs_distances; also reports the number of levels (rounds) executed via
 /// `levels_out` when non-null — this is the Θ(Δ)-round cost the paper's
-/// BFS baseline pays in the distributed setting.
-[[nodiscard]] std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g,
-                                             NodeId source,
-                                             std::size_t* levels_out = nullptr);
+/// BFS baseline pays in the distributed setting.  `options` controls the
+/// per-level push/pull direction choice; `counts_out` (when non-null)
+/// receives the per-direction level split.
+[[nodiscard]] std::vector<Dist> parallel_bfs(
+    ThreadPool& pool, const Graph& g, NodeId source,
+    std::size_t* levels_out = nullptr,
+    const GrowthOptions& options = default_growth_options(),
+    DirectionCounts* counts_out = nullptr);
 
 /// Result of one BFS used for eccentricity-style queries.
 struct BfsExtremum {
@@ -34,7 +45,17 @@ struct BfsExtremum {
   std::size_t reached = 0;     // number of reachable nodes (incl. source)
 };
 
-/// Runs BFS from `source` and summarizes the farthest reachable node.
-[[nodiscard]] BfsExtremum bfs_extremum(const Graph& g, NodeId source);
+/// Runs a parallel BFS from `source` and summarizes the farthest reachable
+/// node.  `pool` defaults to the process-global pool; ties on the maximum
+/// distance resolve to the smallest node id, matching the sequential
+/// reference.
+///
+/// Not reentrant: because this dispatches on a ThreadPool (and pools
+/// reject nested run_on_workers), do not call it from inside a parallel
+/// region of the same pool — callers parallelizing an eccentricity sweep
+/// must either pass a dedicated pool per thread or use the sequential
+/// bfs_distances instead.
+[[nodiscard]] BfsExtremum bfs_extremum(const Graph& g, NodeId source,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace gclus

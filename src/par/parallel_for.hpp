@@ -6,6 +6,7 @@
 // per-item cost (frontier expansion, per-node degree work).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <vector>
@@ -137,6 +138,77 @@ T exclusive_prefix_sum(std::vector<T>& values) {
     total = next;
   }
   return total;
+}
+
+/// Merges per-worker buffers into `out` (replacing its contents): an
+/// exclusive prefix sum over buffer sizes assigns each buffer a disjoint
+/// output range, then the buffers copy concurrently.  Output order is
+/// buffer order, so when buffer contents depend on the dynamic schedule
+/// the result is deterministic only as a multiset.
+template <typename T>
+void parallel_concat(ThreadPool& pool, const std::vector<std::vector<T>>& parts,
+                     std::vector<T>& out) {
+  std::vector<std::size_t> offset(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) offset[i] = parts[i].size();
+  const std::size_t total = exclusive_prefix_sum(offset);
+  out.resize(total);
+  if (pool.num_threads() == 1 || total <= kDefaultGrain) {
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      std::copy(parts[i].begin(), parts[i].end(), out.begin() + offset[i]);
+    }
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  pool.run_on_workers([&](std::size_t) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= parts.size()) break;
+      std::copy(parts[i].begin(), parts[i].end(), out.begin() + offset[i]);
+    }
+  });
+}
+
+/// Order-preserving parallel filter: keeps the elements of `values` for
+/// which `pred` returns true.  Fixed-size blocks are counted in parallel,
+/// an exclusive prefix sum assigns each block its output range, and the
+/// surviving elements are scattered concurrently — relative order is
+/// preserved exactly, so a sorted input stays sorted.
+template <typename T, typename Pred>
+void parallel_compact(ThreadPool& pool, std::vector<T>& values,
+                      const Pred& pred, std::size_t block = 4096) {
+  const std::size_t n = values.size();
+  if (pool.num_threads() == 1 || n <= block) {
+    values.erase(std::remove_if(values.begin(), values.end(),
+                                [&](const T& v) { return !pred(v); }),
+                 values.end());
+    return;
+  }
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<std::size_t> offset(num_blocks);
+  parallel_for(
+      pool, 0, num_blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(lo + block, n);
+        std::size_t kept = 0;
+        for (std::size_t i = lo; i < hi; ++i) kept += pred(values[i]) ? 1 : 0;
+        offset[b] = kept;
+      },
+      /*grain=*/1);
+  const std::size_t total = exclusive_prefix_sum(offset);
+  std::vector<T> out(total);
+  parallel_for(
+      pool, 0, num_blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(lo + block, n);
+        std::size_t at = offset[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (pred(values[i])) out[at++] = values[i];
+        }
+      },
+      /*grain=*/1);
+  values.swap(out);
 }
 
 }  // namespace gclus

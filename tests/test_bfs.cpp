@@ -67,6 +67,44 @@ TEST(BfsExtremum, FindsFarthestNode) {
   EXPECT_EQ(e.reached, 20u);
 }
 
+TEST(BfsExtremum, ExplicitPoolMatchesDefault) {
+  const Graph g = gen::grid(15, 17);
+  ThreadPool pool(3);
+  const auto with_pool = bfs_extremum(g, 4, &pool);
+  const auto with_global = bfs_extremum(g, 4);
+  EXPECT_EQ(with_pool.eccentricity, with_global.eccentricity);
+  EXPECT_EQ(with_pool.farthest_node, with_global.farthest_node);
+  EXPECT_EQ(with_pool.reached, with_global.reached);
+}
+
+TEST(BfsExtremum, DisconnectedGraphCountsOnlyReachable) {
+  const Graph g = gen::disjoint_union(gen::path(5), gen::cycle(6));
+  const auto e = bfs_extremum(g, 0);
+  EXPECT_EQ(e.reached, 5u);
+  EXPECT_EQ(e.eccentricity, 4u);
+}
+
+// Direction-optimizing BFS: push-only, pull-only, and hybrid levels must
+// all reproduce the sequential distances on every corpus graph.
+TEST(ParallelBfs, TraversalModesMatchSequential) {
+  const auto corpus = testutil::small_connected_corpus();
+  for (const auto& [name, graph] : corpus) {
+    const auto seq = bfs_distances(graph, 0);
+    for (const TraversalMode mode :
+         {TraversalMode::kPushOnly, TraversalMode::kPullOnly,
+          TraversalMode::kAuto}) {
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        GrowthOptions opts;
+        opts.mode = mode;
+        const auto par = parallel_bfs(pool, graph, 0, nullptr, opts);
+        EXPECT_EQ(par, seq) << name << " mode=" << traversal_mode_name(mode)
+                            << " threads=" << threads;
+      }
+    }
+  }
+}
+
 TEST(BfsExtremum, SingletonGraph) {
   const Graph g = gen::path(1);
   const auto e = bfs_extremum(g, 0);

@@ -87,6 +87,38 @@ TEST(Cluster, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.centers, c.centers);
 }
 
+// The partition must be a pure function of (graph, seed, τ): forcing the
+// growth engine into push-only, pull-only, or hybrid sweeps across thread
+// counts must leave every byte of the clustering unchanged.
+TEST(Cluster, TraversalModesGiveIdenticalClusterings) {
+  const auto corpus = testutil::small_connected_corpus();
+  for (const auto& [name, g] : corpus) {
+    auto run = [&g = g](TraversalMode mode, std::size_t threads) {
+      ThreadPool pool(threads);
+      ClusterOptions opts;
+      opts.seed = 11;
+      opts.pool = &pool;
+      opts.growth.mode = mode;
+      return cluster(g, 4, opts);
+    };
+    const Clustering base = run(TraversalMode::kPushOnly, 1);
+    EXPECT_TRUE(base.validate(g)) << name;
+    for (const TraversalMode mode :
+         {TraversalMode::kPushOnly, TraversalMode::kPullOnly,
+          TraversalMode::kAuto}) {
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        const Clustering c = run(mode, threads);
+        EXPECT_EQ(base.assignment, c.assignment)
+            << name << " mode=" << traversal_mode_name(mode)
+            << " threads=" << threads;
+        EXPECT_EQ(base.dist_to_center, c.dist_to_center) << name;
+        EXPECT_EQ(base.centers, c.centers) << name;
+        EXPECT_EQ(c.growth_steps, c.push_steps + c.pull_steps) << name;
+      }
+    }
+  }
+}
+
 TEST(Cluster, DifferentSeedsGiveDifferentClusterings) {
   const Graph g = gen::grid(30, 30);
   ClusterOptions o1, o2;

@@ -3,6 +3,8 @@
 // bookkeeping across staggered activations, and frontier-stall behavior.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/growth.hpp"
 #include "graph/bfs.hpp"
 #include "graph/generators.hpp"
@@ -72,6 +74,132 @@ TEST(GrowthState, StaggeredActivationDistances) {
   EXPECT_EQ(c.dist_to_center[19], 0u);
   EXPECT_EQ(c.dist_to_center[18], 1u);
   EXPECT_EQ(c.assignment[18], c.assignment[19]);
+}
+
+// The direction-optimizing engine must be a pure function of (graph,
+// centers, priorities): push-only, pull-only, and hybrid sweeps across
+// thread counts all have to produce byte-identical partitions.
+TEST(GrowthState, TraversalModesProduceIdenticalPartitions) {
+  const auto corpus = testutil::small_connected_corpus();
+  for (const auto& [name, g] : corpus) {
+    auto run = [&g = g](TraversalMode mode, std::size_t threads) {
+      ThreadPool pool(threads);
+      GrowthOptions opts;
+      opts.mode = mode;
+      GrowthState state(g, pool, opts);
+      const NodeId n = g.num_nodes();
+      state.add_center(0);
+      if (n > 2) state.add_center(n / 2, /*priority=*/3);
+      if (n > 3) state.add_center(n - 1, /*priority=*/1);
+      while (state.covered_count() < n) {
+        if (state.frontier_empty()) state.add_singletons_for_uncovered();
+        state.step();
+      }
+      return std::move(state).finish();
+    };
+    const Clustering base = run(TraversalMode::kPushOnly, 1);
+    EXPECT_TRUE(base.validate(g)) << name;
+    for (const TraversalMode mode :
+         {TraversalMode::kPushOnly, TraversalMode::kPullOnly,
+          TraversalMode::kAuto}) {
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        const Clustering c = run(mode, threads);
+        EXPECT_EQ(base.assignment, c.assignment)
+            << name << " mode=" << traversal_mode_name(mode)
+            << " threads=" << threads;
+        EXPECT_EQ(base.dist_to_center, c.dist_to_center)
+            << name << " mode=" << traversal_mode_name(mode)
+            << " threads=" << threads;
+        EXPECT_EQ(base.radius, c.radius)
+            << name << " mode=" << traversal_mode_name(mode)
+            << " threads=" << threads;
+        EXPECT_EQ(base.centers, c.centers) << name;
+      }
+    }
+  }
+}
+
+TEST(GrowthState, ModesAgreeWithStaggeredActivation) {
+  // Centers joining mid-growth (CLUSTER's batch pattern) must not break
+  // push/pull equivalence: distances stay relative to each activation.
+  const Graph g = gen::expander_with_path(600, 80, 4, 13);
+  auto run = [&](TraversalMode mode) {
+    ThreadPool pool(2);
+    GrowthOptions opts;
+    opts.mode = mode;
+    GrowthState state(g, pool, opts);
+    state.add_center(0);
+    state.grow_steps(2);
+    state.add_center(state.first_uncovered(), /*priority=*/2);
+    state.grow_steps(3);
+    if (NodeId v = state.first_uncovered(); v != kInvalidNode) {
+      state.add_center(v);
+    }
+    while (state.covered_count() < g.num_nodes()) {
+      if (state.frontier_empty()) state.add_singletons_for_uncovered();
+      state.step();
+    }
+    return std::move(state).finish();
+  };
+  const Clustering push = run(TraversalMode::kPushOnly);
+  const Clustering pull = run(TraversalMode::kPullOnly);
+  const Clustering hybrid = run(TraversalMode::kAuto);
+  EXPECT_TRUE(push.validate(g));
+  EXPECT_EQ(push.assignment, pull.assignment);
+  EXPECT_EQ(push.dist_to_center, pull.dist_to_center);
+  EXPECT_EQ(push.assignment, hybrid.assignment);
+  EXPECT_EQ(push.dist_to_center, hybrid.dist_to_center);
+}
+
+TEST(GrowthState, StatsSplitStepsByDirection) {
+  const Graph g = gen::expander(512, 4, 11);
+  ThreadPool pool(2);
+  GrowthOptions opts;
+  opts.mode = TraversalMode::kPullOnly;
+  opts.record_step_log = true;
+  GrowthState state(g, pool, opts);
+  state.add_center(0);
+  state.grow_steps(100);
+  EXPECT_EQ(state.stats().pull_steps, state.steps_executed());
+  EXPECT_EQ(state.stats().push_steps, 0u);
+  EXPECT_EQ(state.stats().steps.size(), state.steps_executed());
+  for (const GrowthStepLog& log : state.stats().steps) {
+    EXPECT_TRUE(log.pull);
+    EXPECT_GT(log.frontier_size, 0u);
+  }
+}
+
+TEST(GrowthState, FirstUncoveredMatchesLinearScan) {
+  const Graph g = gen::grid(20, 20);
+  ThreadPool pool(2);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  for (int i = 0; i < 5; ++i) {
+    state.step();
+    NodeId expected = kInvalidNode;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!state.is_covered(v)) {
+        expected = v;
+        break;
+      }
+    }
+    EXPECT_EQ(state.first_uncovered(), expected);
+  }
+}
+
+TEST(GrowthState, UncoveredCandidatesIsAscendingSuperset) {
+  const Graph g = gen::road_like(25, 25, 0.08, 0.02, 3);
+  ThreadPool pool(4);
+  GrowthState state(g, pool);
+  state.add_center(0);
+  state.grow_until_covered(g.num_nodes() / 2);
+  const auto& candidates = state.uncovered_candidates();
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+  std::size_t uncovered_in_candidates = 0;
+  for (const NodeId v : candidates) {
+    if (!state.is_covered(v)) ++uncovered_in_candidates;
+  }
+  EXPECT_EQ(uncovered_in_candidates, state.uncovered_count());
 }
 
 TEST(GrowthState, DeterministicAcrossThreadCounts) {
