@@ -27,18 +27,19 @@ void run_comparison(const Graph& g, const std::string& label, Dist diameter) {
   TablePrinter table(
       {"policy", "clusters", "max radius r", "r / D", "growth steps"});
 
-  ClusterOptions copts;
-  copts.seed = kSeed;
-  const Clustering ours = cluster(g, 8, copts);
+  RunContext ctx;
+  ctx.seed = kSeed;
+  const Clustering ours =
+      run_registry("cluster", g, AlgoParams{}.set("tau", std::uint64_t{8}),
+                   ctx);
   const ClusterId k = ours.num_clusters();
   table.add_row({"CLUSTER (batched halving)", fmt_u(k),
                  fmt_u(ours.max_radius()),
                  fmt(static_cast<double>(ours.max_radius()) / diameter, 3),
                  fmt_u(ours.growth_steps)});
 
-  baselines::RandomCentersOptions ropts;
-  ropts.seed = kSeed;
-  const Clustering oneshot = baselines::random_centers_clustering(g, k, ropts);
+  const Clustering oneshot = run_registry(
+      "random_centers", g, AlgoParams{}.set("k", std::uint64_t{k}), ctx);
   table.add_row({"one-shot random centers", fmt_u(oneshot.num_clusters()),
                  fmt_u(oneshot.max_radius()),
                  fmt(static_cast<double>(oneshot.max_radius()) / diameter, 3),
@@ -47,7 +48,8 @@ void run_comparison(const Graph& g, const std::string& label, Dist diameter) {
   baselines::MpxOptions mopts;
   mopts.seed = kSeed;
   const double beta = baselines::mpx_tune_beta(g, k, mopts);
-  const Clustering shifted = baselines::mpx(g, beta, mopts);
+  const Clustering shifted =
+      run_registry("mpx", g, AlgoParams{}.set("beta", beta), ctx);
   table.add_row({"MPX (exponential shifts)", fmt_u(shifted.num_clusters()),
                  fmt_u(shifted.max_radius()),
                  fmt(static_cast<double>(shifted.max_radius()) / diameter, 3),
@@ -60,21 +62,19 @@ void run_comparison(const Graph& g, const std::string& label, Dist diameter) {
 
 void BM_Policy(benchmark::State& state, int which) {
   const Graph g = workloads::make_expander_path(32768);
+  RunContext ctx;
+  ctx.seed = kSeed;
   Dist radius = 0;
   for (auto _ : state) {
     Clustering c;
     if (which == 0) {
-      ClusterOptions opts;
-      opts.seed = kSeed;
-      c = cluster(g, 8, opts);
+      c = run_registry("cluster", g, AlgoParams{}.set("tau", std::uint64_t{8}),
+                       ctx);
     } else if (which == 1) {
-      baselines::RandomCentersOptions opts;
-      opts.seed = kSeed;
-      c = baselines::random_centers_clustering(g, 512, opts);
+      c = run_registry("random_centers", g,
+                       AlgoParams{}.set("k", std::uint64_t{512}), ctx);
     } else {
-      baselines::MpxOptions opts;
-      opts.seed = kSeed;
-      c = baselines::mpx(g, 0.2, opts);
+      c = run_registry("mpx", g, AlgoParams{}.set("beta", 0.2), ctx);
     }
     radius = c.max_radius();
     benchmark::DoNotOptimize(c.assignment.data());

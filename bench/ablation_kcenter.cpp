@@ -7,6 +7,10 @@
 // Theorem 2 allows O(log³n) but practice is far tighter — while being
 // parallel (O(R) rounds, not k sequential BFS sweeps).  Random centers
 // trail both, increasingly so for large k on the road/mesh graphs.
+//
+// This bench compares center sets and exact radii, not partitions, so it
+// calls the k-center entry points directly; the registry's "kcenter" and
+// "gonzalez" entries wrap the same code as Voronoi Clusterings.
 #include <benchmark/benchmark.h>
 
 #include "baselines/gonzalez.hpp"

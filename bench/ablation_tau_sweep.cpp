@@ -25,9 +25,11 @@ void print_sweep(const BenchDataset& d) {
   TablePrinter table({"tau", "clusters", "max radius r", "r*sqrt(tau)",
                       "growth steps", "D"});
   for (const std::uint32_t tau : kTaus) {
-    ClusterOptions opts;
-    opts.seed = kSeed;
-    const Clustering c = cluster(d.graph(), tau, opts);
+    RunContext ctx;
+    ctx.seed = kSeed;
+    const Clustering c = run_registry(
+        "cluster", d.graph(), AlgoParams{}.set("tau", std::uint64_t{tau}),
+        ctx);
     table.add_row({fmt_u(tau), fmt_u(c.num_clusters()),
                    fmt_u(c.max_radius()),
                    fmt(c.max_radius() * std::sqrt(static_cast<double>(tau)),
@@ -42,11 +44,12 @@ void print_sweep(const BenchDataset& d) {
 void BM_ClusterAtTau(benchmark::State& state, const std::string& name) {
   const BenchDataset& d = load_bench_dataset(name);
   const auto tau = static_cast<std::uint32_t>(state.range(0));
-  ClusterOptions opts;
-  opts.seed = kSeed;
+  RunContext ctx;
+  ctx.seed = kSeed;
+  const AlgoParams params = AlgoParams{}.set("tau", std::uint64_t{tau});
   Dist radius = 0;
   for (auto _ : state) {
-    const Clustering c = cluster(d.graph(), tau, opts);
+    const Clustering c = run_registry("cluster", d.graph(), params, ctx);
     radius = c.max_radius();
     benchmark::DoNotOptimize(c.assignment.data());
   }

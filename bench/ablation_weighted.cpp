@@ -7,6 +7,11 @@
 // premium — exactly the two quantities §7 says the extension must control
 // together.  The weighted diameter estimate is validated against the
 // exact weighted diameter.
+//
+// This bench calls weighted_cluster directly rather than through the
+// registry: the registry's uniform surface is Graph -> Clustering, and the
+// whole point here is the *truly weighted* WeightedGraph pipeline (the
+// registry's "weighted_cluster" entry runs the unit-weight lift).
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"

@@ -244,6 +244,11 @@ std::string fmt(double v, int digits) {
 
 std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
 
+Clustering run_registry(const std::string& algo, const Graph& g,
+                        const AlgoParams& params, RunContext ctx) {
+  return registry().run(algo, g, params, ctx);
+}
+
 std::uint32_t tau_for_target_clusters(const Graph& g, double target_clusters) {
   const double logn =
       std::max(1.0, std::log2(static_cast<double>(g.num_nodes())));

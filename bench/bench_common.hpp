@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "api/registry.hpp"
+#include "api/run_context.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
@@ -100,6 +102,17 @@ class Json {
 /// Writes `root` to `path` (plus a trailing newline).  Aborts on I/O
 /// failure — bench artifacts must never be silently incomplete.
 void write_json_file(const std::string& path, const Json& root);
+
+/// Constructs a clustering through the algorithm registry — the unified
+/// API.  All bench binaries route their registry-covered algorithms
+/// through here, so a bench never hardcodes a per-algorithm entry point;
+/// only algorithms outside the registry's Graph->Clustering shape (the MR
+/// emulations, the truly-weighted pipeline, raw center-set k-center
+/// baselines) still call their modules directly.  `ctx` is taken by value:
+/// benches usually want a fresh context per run anyway, and the copy makes
+/// the call safe inside benchmark loops.
+Clustering run_registry(const std::string& algo, const Graph& g,
+                        const AlgoParams& params, RunContext ctx = {});
 
 /// Granularity choice used by Tables 2/3: the paper targets ~n/1000
 /// clusters on small-diameter graphs and ~n/100 on large-diameter graphs

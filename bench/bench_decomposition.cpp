@@ -120,12 +120,13 @@ RunResult bench_cluster_once(const Graph& g, ThreadPool& pool,
                              TraversalMode mode) {
   RunResult r;
   r.mode = traversal_mode_name(mode);
-  ClusterOptions opts;
-  opts.seed = kSeed;
-  opts.pool = &pool;
-  opts.growth.mode = mode;
+  RunContext ctx;
+  ctx.seed = kSeed;
+  ctx.pool = &pool;
+  ctx.growth.mode = mode;
   Timer t;
-  const Clustering c = cluster(g, /*tau=*/16, opts);
+  const Clustering c = run_registry(
+      "cluster", g, AlgoParams{}.set("tau", std::uint64_t{16}), ctx);
   r.wall_s = t.elapsed_s();
   r.steps = c.growth_steps;
   r.push_steps = c.push_steps;

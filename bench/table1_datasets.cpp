@@ -60,7 +60,7 @@ void BM_ExactDiameter(benchmark::State& state, const std::string& name) {
   const BenchDataset& d = load_bench_dataset(name);
   std::size_t bfs_runs = 0;
   for (auto _ : state) {
-    const DiameterResult r = exact_diameter(d.graph());
+    const ExactDiameterResult r = exact_diameter(d.graph());
     bfs_runs = r.bfs_runs;
     benchmark::DoNotOptimize(r.diameter);
   }

@@ -30,10 +30,13 @@ struct GranularityResult {
 GranularityResult run(const BenchDataset& d, double target_clusters) {
   const std::uint32_t tau =
       tau_for_target_clusters(d.graph(), target_clusters);
-  DiameterOptions opts;
-  opts.seed = kSeed;
-  opts.use_cluster2 = false;  // the paper's simplified experimental variant
-  return {approximate_diameter(d.graph(), tau, opts), tau};
+  // Clustering phase through the registry ("cluster" is the paper's
+  // simplified experimental variant); diameter post-processing reuses it.
+  RunContext ctx;
+  ctx.seed = kSeed;
+  const Clustering c = run_registry(
+      "cluster", d.graph(), AlgoParams{}.set("tau", std::uint64_t{tau}), ctx);
+  return {diameter_from_clustering(d.graph(), c), tau};
 }
 
 void print_table3() {
@@ -65,12 +68,14 @@ void BM_DiameterPipeline(benchmark::State& state, const std::string& name,
   const BenchDataset& d = load_bench_dataset(name);
   const std::uint32_t tau = tau_for_target_clusters(
       d.graph(), d.graph().num_nodes() / target_divisor);
-  DiameterOptions opts;
-  opts.seed = kSeed;
+  RunContext ctx;
+  ctx.seed = kSeed;
+  const AlgoParams params = AlgoParams{}.set("tau", std::uint64_t{tau});
   std::uint64_t estimate = 0;
   std::size_t growth_steps = 0;
   for (auto _ : state) {
-    const DiameterApprox a = approximate_diameter(d.graph(), tau, opts);
+    const Clustering c = run_registry("cluster", d.graph(), params, ctx);
+    const DiameterApprox a = diameter_from_clustering(d.graph(), c);
     estimate = a.upper_bound;
     growth_steps = a.growth_steps;
     benchmark::DoNotOptimize(estimate);

@@ -1,40 +1,161 @@
-// CLI tool: decompose an arbitrary edge-list graph from disk.
+// CLI tool: decompose an arbitrary edge-list graph from disk through the
+// algorithm registry — the unified API's front door in miniature.
 //
-//   $ ./decompose_file [path/to/edges.txt] [tau]
+//   $ ./decompose_file [path/to/edges.txt] [flags]
+//
+//   --list                     print every registered algorithm + schema
+//   --algo=NAME                algorithm to run (default: cluster)
+//   --seed=N --threads=N       RunContext knobs
+//   --growth.mode=push|pull|auto --growth.alpha=F --growth.beta=F
+//   --KEY=VALUE                algorithm parameter, validated against the
+//                              registry schema (e.g. --tau=64, --beta=0.4)
+//
+// There is deliberately no per-algorithm switch statement here: the
+// registry supplies the schema and the adapter, so a new decomposition
+// algorithm becomes selectable the moment it registers itself.
 //
 // The file format is the SNAP/LAW edge list the paper's datasets ship in:
 // one "u v" pair per line, '#'/'%' comments, arbitrary sparse ids.  With
-// no arguments, a demo graph is generated and written to a temp file
+// no input path, a demo graph is generated and written to a temp file
 // first, so the tool is runnable out of the box.  Output: clustering
-// summary, the largest clusters, and the quotient graph written next to
-// the input.
+// summary, the largest clusters, telemetry events, and the quotient graph
+// written next to the input.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
-#include "core/cluster.hpp"
+#include "api/registry.hpp"
+#include "api/run_context.hpp"
+#include "api/workspace.hpp"
 #include "core/quotient.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using namespace gclus;
+
+void print_registry() {
+  std::printf("registered algorithms:\n");
+  for (const std::string& name : registry().names()) {
+    const AlgoInfo* info = registry().find(name);
+    std::printf("  %-18s %s\n", name.c_str(), info->summary.c_str());
+    for (const ParamSpec& p : info->params) {
+      std::printf("    --%-16s %-6s (default %s) %s\n", p.key.c_str(),
+                  param_type_name(p.type), p.default_value.c_str(),
+                  p.help.c_str());
+    }
+  }
+}
+
+// Context-level flags get the same strictness the registry applies to
+// algorithm parameters: a typo must abort, not silently become 0.
+std::uint64_t parse_u64_or_die(const std::string& key,
+                               const std::string& value) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || value[0] == '-') {
+    std::fprintf(stderr, "--%s=%s is not an unsigned integer\n", key.c_str(),
+                 value.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
+double parse_double_or_die(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    std::fprintf(stderr, "--%s=%s is not a number\n", key.c_str(),
+                 value.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
+bool parse_growth_mode(const std::string& value, GrowthOptions& growth) {
+  if (value == "push") {
+    growth.mode = TraversalMode::kPushOnly;
+  } else if (value == "pull") {
+    growth.mode = TraversalMode::kPullOnly;
+  } else if (value == "auto") {
+    growth.mode = TraversalMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace gclus;
-
   std::string path;
-  std::uint32_t tau = 8;
-  if (argc > 1) {
-    path = argv[1];
-  } else {
+  std::string algo = "cluster";
+  AlgoParams params;
+  RunContext ctx;
+  std::size_t threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      print_registry();
+      return 0;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      path = arg;  // positional: the edge-list file
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "flag %s needs =VALUE (try --list)\n", arg.c_str());
+      return 1;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    // Context-level keys are shared by every algorithm; anything else is an
+    // algorithm parameter the registry validates.
+    if (key == "algo") {
+      algo = value;
+    } else if (key == "seed") {
+      ctx.seed = parse_u64_or_die(key, value);
+    } else if (key == "threads") {
+      threads = static_cast<std::size_t>(parse_u64_or_die(key, value));
+    } else if (key == "growth.mode") {
+      if (!parse_growth_mode(value, ctx.growth)) {
+        std::fprintf(stderr, "--growth.mode=%s (expected push|pull|auto)\n",
+                     value.c_str());
+        return 1;
+      }
+    } else if (key == "growth.alpha") {
+      ctx.growth.alpha = parse_double_or_die(key, value);
+    } else if (key == "growth.beta") {
+      ctx.growth.beta = parse_double_or_die(key, value);
+    } else {
+      params.set(key, value);
+    }
+  }
+
+  if (registry().find(algo) == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    print_registry();
+    return 1;
+  }
+
+  if (path.empty()) {
     // Demo input: a ring of communities, written as a plain edge list.
     path = (std::filesystem::temp_directory_path() / "gclus_demo_edges.txt")
                .string();
     io::write_edge_list_file(gen::ring_of_cliques(40, 25), path);
     std::printf("no input given; wrote demo graph to %s\n", path.c_str());
   }
-  if (argc > 2) tau = static_cast<std::uint32_t>(std::atoi(argv[2]));
 
   Graph g = io::read_edge_list_file(path);
   std::printf("loaded %s: %u nodes, %llu edges\n", path.c_str(),
@@ -45,11 +166,23 @@ int main(int argc, char** argv) {
                 comps.count);
   }
 
-  ClusterOptions opts;
-  opts.seed = 1;
-  const Clustering c = cluster(g, tau, opts);
-  std::printf("CLUSTER(%u): %u clusters, max radius %u, %zu growth steps\n",
-              tau, c.num_clusters(), c.max_radius(), c.growth_steps);
+  std::unique_ptr<ThreadPool> private_pool;
+  if (threads > 0) {
+    private_pool = std::make_unique<ThreadPool>(threads);
+    ctx.pool = private_pool.get();
+  }
+  Workspace workspace;
+  ctx.workspace = &workspace;
+  RecordingTelemetry telemetry;
+  ctx.telemetry = &telemetry;
+
+  const Clustering c = registry().run(algo, g, params, ctx);
+  std::printf("%s: %u clusters, max radius %u, %zu growth steps%s\n",
+              algo.c_str(), c.num_clusters(), c.max_radius(), c.growth_steps,
+              c.validate(g) ? "" : "  [VALIDATION FAILED]");
+  for (const auto& [key, value] : telemetry.events()) {
+    std::printf("  telemetry %-28s %.6g\n", key.c_str(), value);
+  }
 
   // Top clusters by size.
   std::vector<ClusterId> order(c.num_clusters());

@@ -13,6 +13,8 @@
 //   $ ./weighted_roads
 //
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/weighted_cluster.hpp"

@@ -1,0 +1,206 @@
+// Built-in registrations for the algorithm registry.
+//
+// Every adapter follows the same recipe: copy the caller's RunContext into
+// the algorithm's native options struct (options *are* RunContexts, so
+// this is one slice assignment — same seed, pool, growth knobs, telemetry,
+// workspace), read declared parameters out of the AlgoParams bag, and call
+// the existing entry point.  No randomness is re-derived here: a registry
+// run is byte-identical to the corresponding direct call with the same
+// context.
+//
+// Center-set algorithms (gonzalez, kcenter) are registered through a
+// shared owner-propagating multi-source BFS that turns their center sets
+// into full Clusterings (the nearest-center Voronoi partition), so the
+// registry's uniform return type covers them too.
+#include <algorithm>
+
+#include "api/registry.hpp"
+#include "baselines/gonzalez.hpp"
+#include "baselines/mpx.hpp"
+#include "baselines/random_centers.hpp"
+#include "common/check.hpp"
+#include "core/cluster.hpp"
+#include "core/cluster2.hpp"
+#include "core/kcenter.hpp"
+#include "core/weighted_cluster.hpp"
+#include "graph/bfs.hpp"
+#include "graph/weighted.hpp"
+
+namespace gclus {
+namespace {
+
+using Type = ParamSpec::Type;
+
+const ParamSpec kTauSpec{"tau", Type::kU32, "8",
+                         "decomposition granularity (Theorem 1's τ)"};
+const ParamSpec kSelectionSpec{
+    "selection_constant", Type::kDouble, "4",
+    "constant of the selection probability 4·τ·log n / |uncovered|"};
+const ParamSpec kThresholdSpec{"threshold_constant", Type::kDouble, "8",
+                               "constant of the loop threshold 8·τ·log n"};
+
+/// Reads k with a guard: a center-count parameter is meaningless above n,
+/// so it is clamped (small test corpus graphs run fine with the default).
+NodeId read_k(const Graph& g, const AlgoParams& params, NodeId fallback) {
+  const NodeId k = params.get_u32("k", fallback);
+  return std::max<NodeId>(1, std::min<NodeId>(k, g.num_nodes()));
+}
+
+/// Nearest-center Voronoi partition of `centers`, via the owner-tracking
+/// multi-source BFS (graph/bfs).  Claims propagate along BFS tree edges,
+/// so every member has a same-cluster neighbor one hop closer and
+/// Clustering::validate holds.
+Clustering clustering_from_centers(const Graph& g,
+                                   const std::vector<NodeId>& centers) {
+  GCLUS_CHECK(!centers.empty());
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> owner;
+  std::vector<Dist> dist = multi_source_bfs(g, centers, &owner);
+
+  Clustering out;
+  out.centers = centers;
+  out.assignment.assign(owner.begin(), owner.end());
+  out.dist_to_center = std::move(dist);
+  Dist radius = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    GCLUS_CHECK(out.assignment[v] != kNoCluster,
+                "center set does not reach every component");
+    radius = std::max(radius, out.dist_to_center[v]);
+  }
+  for (ClusterId c = 0; c < centers.size(); ++c) {
+    GCLUS_CHECK(out.assignment[centers[c]] == c, "duplicate center node ",
+                centers[c]);
+  }
+  out.growth_steps = radius;
+  finalize_cluster_stats(out);
+  return out;
+}
+
+void register_cluster(Registry& r) {
+  r.add({"cluster",
+         "CLUSTER(τ) — Algorithm 1: batched random centers, grow until half "
+         "the uncovered nodes are covered",
+         {kTauSpec, kSelectionSpec, kThresholdSpec},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           ClusterOptions o;
+           o.context() = ctx;
+           o.selection_constant = p.get_double("selection_constant", 4.0);
+           o.threshold_constant = p.get_double("threshold_constant", 8.0);
+           return cluster(g, p.get_u32("tau", 8), o);
+         }});
+}
+
+void register_cluster2(Registry& r) {
+  r.add({"cluster2",
+         "CLUSTER2(τ) — Algorithm 2: preliminary CLUSTER run learns R_ALG, "
+         "then fixed 2·R_ALG growth quotas per iteration",
+         {kTauSpec, kSelectionSpec, kThresholdSpec},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           ClusterOptions o;
+           o.context() = ctx;
+           o.selection_constant = p.get_double("selection_constant", 4.0);
+           o.threshold_constant = p.get_double("threshold_constant", 8.0);
+           return cluster2(g, p.get_u32("tau", 8), o).clustering;
+         }});
+}
+
+void register_weighted_cluster(Registry& r) {
+  r.add({"weighted_cluster",
+         "weighted decomposition (§7 extension) on the unit-weight lift of "
+         "the graph; degenerates to CLUSTER step for step",
+         {kTauSpec, kSelectionSpec, kThresholdSpec},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           WeightedClusterOptions o;
+           o.context() = ctx;
+           o.selection_constant = p.get_double("selection_constant", 4.0);
+           o.threshold_constant = p.get_double("threshold_constant", 8.0);
+           const WeightedClustering wc = weighted_cluster(
+               WeightedGraph::from_unit_weights(g), p.get_u32("tau", 8), o);
+           Clustering out;
+           out.assignment = wc.assignment;
+           out.centers = wc.centers;
+           // Unit weights make hop and weighted distances coincide.
+           out.dist_to_center = wc.hops_to_center;
+           out.growth_steps = static_cast<std::size_t>(wc.final_clock);
+           out.iterations = wc.iterations;
+           finalize_cluster_stats(out);
+           return out;
+         }});
+}
+
+void register_mpx(Registry& r) {
+  r.add({"mpx",
+         "Miller–Peng–Xu random-shift decomposition [SPAA'13] — the paper's "
+         "clustering baseline",
+         {{"beta", Type::kDouble, "0.5",
+           "exponential-shift rate; larger β → more, smaller clusters"}},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           baselines::MpxOptions o;
+           o.context() = ctx;
+           return baselines::mpx(g, p.get_double("beta", 0.5), o);
+         }});
+}
+
+void register_random_centers(Registry& r) {
+  r.add({"random_centers",
+         "one-shot uniform random centers grown to coverage (Meyer-style "
+         "baseline)",
+         {{"k", Type::kU32, "16", "number of centers (clamped to n)"}},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           baselines::RandomCentersOptions o;
+           o.context() = ctx;
+           return baselines::random_centers_clustering(g, read_k(g, p, 16),
+                                                       o);
+         }});
+}
+
+void register_gonzalez(Registry& r) {
+  r.add({"gonzalez",
+         "Gonzalez farthest-first k-center (sequential 2-approximation), "
+         "returned as the nearest-center partition",
+         {{"k", Type::kU32, "8", "number of centers (clamped to n)"},
+          {"first", Type::kU32, "0", "seed node of the sweep"}},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           const auto res = baselines::gonzalez_kcenter(
+               g, read_k(g, p, 8), p.get_u32("first", 0));
+           ctx.emit("gonzalez.radius", static_cast<double>(res.radius));
+           return clustering_from_centers(g, res.centers);
+         }});
+}
+
+void register_kcenter(Registry& r) {
+  r.add({"kcenter",
+         "CLUSTER-based k-center approximation (Theorem 2), returned as the "
+         "nearest-center partition",
+         {{"k", Type::kU32, "8", "number of centers (clamped to n)"},
+          {"tau_scale", Type::kDouble, "1",
+           "scale of the τ = scale·k/log²n choice"}},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           KCenterOptions o;
+           o.context() = ctx;
+           o.tau_scale = p.get_double("tau_scale", 1.0);
+           const KCenterResult res = kcenter_approx(g, read_k(g, p, 8), o);
+           ctx.emit("kcenter.radius", static_cast<double>(res.radius));
+           ctx.emit("kcenter.raw_clusters",
+                    static_cast<double>(res.raw_clusters));
+           ctx.emit("kcenter.tau", static_cast<double>(res.tau));
+           return clustering_from_centers(g, res.centers);
+         }});
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_algorithms(Registry& r) {
+  register_cluster(r);
+  register_cluster2(r);
+  register_weighted_cluster(r);
+  register_mpx(r);
+  register_random_centers(r);
+  register_gonzalez(r);
+  register_kcenter(r);
+}
+
+}  // namespace detail
+}  // namespace gclus

@@ -1,0 +1,27 @@
+#include "api/run_context.hpp"
+
+#include "common/check.hpp"
+#include "par/thread_pool.hpp"
+
+namespace gclus {
+
+ThreadPool& RunContext::pool_or_global() const {
+  return pool != nullptr ? *pool : ThreadPool::global();
+}
+
+bool RecordingTelemetry::has(const std::string& key) const {
+  for (const auto& [k, v] : events_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double RecordingTelemetry::value(const std::string& key) const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  GCLUS_CHECK(false, "telemetry key never recorded: ", key);
+  return 0.0;
+}
+
+}  // namespace gclus

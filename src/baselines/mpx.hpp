@@ -18,20 +18,15 @@
 
 #include <cstdint>
 
-#include "common/traversal.hpp"
+#include "api/run_context.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
-#include "par/thread_pool.hpp"
 
 namespace gclus::baselines {
 
-struct MpxOptions {
-  std::uint64_t seed = 1;
-  ThreadPool* pool = nullptr;
-
-  /// Direction-optimizing growth-engine knobs (push/pull heuristic).
-  GrowthOptions growth = default_growth_options();
-};
+/// Execution environment only — MPX has no constants beyond β, which is a
+/// direct argument.
+struct MpxOptions : RunContext {};
 
 /// Runs MPX with exponential-distribution parameter `beta` (> 0).  Larger
 /// β means more clusters of smaller radius.

@@ -13,8 +13,7 @@ Clustering random_centers_clustering(const Graph& g, NodeId k,
                                      const RandomCentersOptions& options) {
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(k >= 1 && k <= n);
-  ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : ThreadPool::global();
+  ThreadPool& pool = options.pool_or_global();
 
   // Sample k distinct nodes (Floyd's algorithm would also do; with k << n
   // rejection is cheap and deterministic given the seed).
@@ -32,7 +31,7 @@ Clustering random_centers_clustering(const Graph& g, NodeId k,
   }
   std::sort(centers.begin(), centers.end());
 
-  GrowthState state(g, pool, options.growth);
+  GrowthState state(g, pool, options.growth, options.workspace);
   for (const NodeId c : centers) state.add_center(c);
   while (state.covered_count() < n) {
     if (state.frontier_empty()) {

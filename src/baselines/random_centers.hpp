@@ -13,20 +13,14 @@
 
 #include <cstdint>
 
-#include "common/traversal.hpp"
+#include "api/run_context.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
-#include "par/thread_pool.hpp"
 
 namespace gclus::baselines {
 
-struct RandomCentersOptions {
-  std::uint64_t seed = 1;
-  ThreadPool* pool = nullptr;
-
-  /// Direction-optimizing growth-engine knobs (push/pull heuristic).
-  GrowthOptions growth = default_growth_options();
-};
+/// Execution environment only — k is a direct argument.
+struct RandomCentersOptions : RunContext {};
 
 /// Grows a clustering from k uniformly sampled centers.  On disconnected
 /// graphs, components missed by the sample are covered by deterministic

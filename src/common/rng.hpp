@@ -30,6 +30,30 @@ constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
   return hash_combine(hash_combine(a, b), c);
 }
 
+/// Derives an independent sub-stream seed from a base seed and a phase tag.
+/// Every sub-phase that needs its own randomness (the preliminary CLUSTER
+/// run inside CLUSTER2, the decomposition inside the distance-oracle build,
+/// the spanner pass of the MR diameter pipeline) goes through this one
+/// helper with a named tag below, so identical base seeds give identical
+/// results across every entry point — direct calls and the registry alike —
+/// and no call site improvises its own mixing.
+///
+/// Phases whose draws are already *counter-based* (keyed_bernoulli /
+/// keyed_exponential over (seed, phase, node) coordinates) do not need a
+/// derived seed: the coordinates are the stream.  In particular, the
+/// weighted decomposition's per-wave center draws intentionally share
+/// CLUSTER's exact (seed, iteration, node) coordinates — that equality is
+/// what makes it degenerate to CLUSTER step-for-step on unit weights.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag) {
+  return hash_combine(base, tag);
+}
+
+/// Registry of derivation tags.  Values are frozen: changing one silently
+/// reshuffles every decomposition computed under the owning phase.
+inline constexpr std::uint64_t kSeedTagCluster2Prelim = 0xC1;
+inline constexpr std::uint64_t kSeedTagOracleBuild = 0x0AC1E;
+inline constexpr std::uint64_t kSeedTagMrSpanner = 0x5B;
+
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
 /// Used where a *sequential* stream is convenient (generators, shuffles).
 class Rng {

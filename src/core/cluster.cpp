@@ -32,10 +32,9 @@ Clustering cluster(const Graph& g, std::uint32_t tau,
   GCLUS_CHECK(tau >= 1, "CLUSTER requires tau >= 1");
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n >= 1);
-  ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : ThreadPool::global();
+  ThreadPool& pool = options.pool_or_global();
 
-  GrowthState state(g, pool, options.growth);
+  GrowthState state(g, pool, options.growth, options.workspace);
   const double logn = log2_clamped(n);
   const double stop_threshold = options.threshold_constant * tau * logn;
 
@@ -83,6 +82,10 @@ Clustering cluster(const Graph& g, std::uint32_t tau,
   state.add_singletons_for_uncovered();
   Clustering out = std::move(state).finish();
   out.iterations = iteration;
+  options.emit("cluster.iterations", static_cast<double>(out.iterations));
+  options.emit("cluster.clusters", static_cast<double>(out.num_clusters()));
+  options.emit("cluster.max_radius", static_cast<double>(out.max_radius()));
+  options.emit("cluster.growth_steps", static_cast<double>(out.growth_steps));
   return out;
 }
 

@@ -14,27 +14,22 @@
 
 #include <cstdint>
 
-#include "common/traversal.hpp"
+#include "api/run_context.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
-#include "par/thread_pool.hpp"
 
 namespace gclus {
 
-struct ClusterOptions {
-  std::uint64_t seed = 1;
-
+/// Execution environment (seed, pool, growth knobs, telemetry, workspace)
+/// plus CLUSTER's own constants.  Emits "cluster.iterations",
+/// "cluster.clusters", "cluster.max_radius" and "cluster.growth_steps" to
+/// the context's telemetry sink.
+struct ClusterOptions : RunContext {
   /// The constant of the selection probability 4·τ·log n / |uncovered|.
   double selection_constant = 4.0;
 
   /// The constant of the loop threshold 8·τ·log n.
   double threshold_constant = 8.0;
-
-  /// Thread pool; nullptr means the process-global pool.
-  ThreadPool* pool = nullptr;
-
-  /// Direction-optimizing growth-engine knobs (push/pull heuristic).
-  GrowthOptions growth = default_growth_options();
 };
 
 /// Runs CLUSTER(τ).  Works on connected and disconnected graphs (§3.2

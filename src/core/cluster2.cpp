@@ -15,12 +15,14 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
   GCLUS_CHECK(tau >= 1);
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n >= 1);
-  ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : ThreadPool::global();
+  ThreadPool& pool = options.pool_or_global();
 
   // Phase 1: learn R_ALG with a plain CLUSTER(τ) run on a derived seed.
+  // The full context (pool, growth knobs, workspace) carries over; the
+  // runs are sequential, so a shared workspace is reused, not contended.
   ClusterOptions prelim = options;
-  prelim.seed = hash_combine(options.seed, 0xC1u);
+  prelim.telemetry = nullptr;  // phase 1 metrics would shadow CLUSTER2's
+  prelim.seed = derive_seed(options.seed, kSeedTagCluster2Prelim);
   const Clustering pre = cluster(g, tau, prelim);
 
   Cluster2Result result;
@@ -36,7 +38,7 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
   const auto log_n = static_cast<std::size_t>(
       std::ceil(std::log2(std::max<double>(2.0, n))));
 
-  GrowthState state(g, pool, options.growth);
+  GrowthState state(g, pool, options.growth, options.workspace);
 
   std::size_t iterations = 0;
   for (std::size_t i = 1; i <= log_n && state.uncovered_count() > 0; ++i) {
@@ -59,6 +61,13 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
   state.add_singletons_for_uncovered();
   result.clustering = std::move(state).finish();
   result.clustering.iterations = iterations;
+  options.emit("cluster2.r_alg", static_cast<double>(result.r_alg));
+  options.emit("cluster2.prelim_growth_steps",
+               static_cast<double>(result.prelim_growth_steps));
+  options.emit("cluster2.clusters",
+               static_cast<double>(result.clustering.num_clusters()));
+  options.emit("cluster2.max_radius",
+               static_cast<double>(result.clustering.max_radius()));
   return result;
 }
 

@@ -36,8 +36,7 @@ DiameterApprox diameter_from_clustering(const Graph& g,
 DiameterApprox approximate_diameter(const Graph& g, std::uint32_t tau,
                                     const DiameterOptions& options) {
   ClusterOptions copts;
-  copts.seed = options.seed;
-  copts.pool = options.pool;
+  copts.context() = options.context();
 
   if (options.use_cluster2) {
     const Cluster2Result r2 = cluster2(g, tau, copts);

@@ -12,22 +12,22 @@
 
 #include <cstdint>
 
+#include "api/run_context.hpp"
 #include "core/cluster.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 
 namespace gclus {
 
-struct DiameterOptions {
-  std::uint64_t seed = 1;
-
+/// Execution environment plus the pipeline selector.  The full context —
+/// including the growth knobs this struct historically lacked — flows into
+/// the underlying CLUSTER/CLUSTER2 run.
+struct DiameterOptions : RunContext {
   /// true: full CLUSTER2 pipeline (Algorithm 2) as analyzed in §4.
   /// false: the simplified single-CLUSTER pipeline used in §6.2's
   /// experiments ("for efficiency, we used CLUSTER instead of CLUSTER2,
   /// thus avoiding repeating the clustering twice").
   bool use_cluster2 = false;
-
-  ThreadPool* pool = nullptr;
 };
 
 struct DiameterApprox {

@@ -22,8 +22,8 @@ DistanceOracle DistanceOracle::build(const Graph& g,
   }
 
   ClusterOptions copts;
-  copts.seed = options.seed;
-  copts.pool = options.pool;
+  copts.context() = options.context();
+  copts.seed = derive_seed(options.seed, kSeedTagOracleBuild);
 
   Clustering clustering;
   if (options.use_cluster2) {

@@ -13,15 +13,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.hpp"
 #include "core/cluster.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 
 namespace gclus {
 
-struct DistanceOracleOptions {
-  std::uint64_t seed = 1;
-
+/// Execution environment plus the oracle's structural knobs.  The build's
+/// decomposition runs on the derived sub-stream
+/// derive_seed(seed, kSeedTagOracleBuild), so an oracle built with seed s
+/// never replays the exact clustering of a user's own CLUSTER2(s) run.
+/// Compatibility note: this is a deliberate break from the pre-RunContext
+/// library, which passed the seed through verbatim — oracles rebuilt from
+/// stored seeds will choose a different (equally valid) clustering.  All
+/// quality guarantees are distribution-level, and the oracle has no
+/// serialized format yet, so nothing persisted depends on the old stream.
+struct DistanceOracleOptions : RunContext {
   /// 0 means "choose τ automatically" as max(1, √n / log²n) — large enough
   /// to keep the quotient near √n nodes so the APSP matrix stays linear
   /// in the input size.
@@ -29,8 +37,6 @@ struct DistanceOracleOptions {
 
   /// Use CLUSTER2 (the analyzed variant) instead of plain CLUSTER.
   bool use_cluster2 = true;
-
-  ThreadPool* pool = nullptr;
 };
 
 class DistanceOracle {

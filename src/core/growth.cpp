@@ -10,42 +10,60 @@
 namespace gclus {
 
 GrowthState::GrowthState(const Graph& g, ThreadPool& pool,
-                         GrowthOptions options)
+                         GrowthOptions options, Workspace* workspace)
     : g_(&g),
       pool_(&pool),
       options_(options),
-      claim_(g.num_nodes()),
-      covered_(g.num_nodes(), 0),
-      committing_(g.num_nodes()),
-      dist_(g.num_nodes(), kInfDist),
-      frontier_bits_((g.num_nodes() + 63) / 64),
-      proposals_(pool.num_threads()),
-      next_frontier_(pool.num_threads()),
-      uncovered_candidates_(g.num_nodes()),
+      workspace_(workspace),
       uncovered_degree_sum_(g.num_half_edges()) {
-  parallel_for(pool, 0, g.num_nodes(), [&](std::size_t v) {
-    claim_[v].store(kUnclaimed, std::memory_order_relaxed);
-    uncovered_candidates_[v] = static_cast<NodeId>(v);
+  const NodeId n = g.num_nodes();
+  if (workspace_ != nullptr) {
+    b_ = workspace_->acquire_growth(n, pool.num_threads());
+  } else {
+    owned_ = std::make_unique<GrowthScratch>();
+    owned_->ensure(n, pool.num_threads());
+    b_ = owned_.get();
+  }
+  // Reset every per-node slot: the scratch may carry a previous run's
+  // state (that is the point of reuse).  One fused parallel sweep — the
+  // writes stream into warm pages when the scratch is recycled.
+  parallel_for(pool, 0, n, [&](std::size_t v) {
+    b_->claim[v].store(kUnclaimed, std::memory_order_relaxed);
+    b_->covered[v] = 0;
+    b_->committing[v].clear(std::memory_order_relaxed);
+    b_->dist[v] = kInfDist;
+    b_->uncovered_candidates[v] = static_cast<NodeId>(v);
   });
-  parallel_for(pool, 0, frontier_bits_.size(), [&](std::size_t w) {
-    frontier_bits_[w].store(0, std::memory_order_relaxed);
-  });
+  parallel_for(pool, 0, (static_cast<std::size_t>(n) + 63) / 64,
+               [&](std::size_t w) {
+                 b_->frontier_bits[w].store(0, std::memory_order_relaxed);
+               });
+  b_->frontier.clear();
+  for (auto& p : b_->proposals) p.clear();
+  for (auto& p : b_->next_frontier) p.clear();
+}
+
+GrowthState::GrowthState(const Graph& g, const RunContext& ctx)
+    : GrowthState(g, ctx.pool_or_global(), ctx.growth, ctx.workspace) {}
+
+GrowthState::~GrowthState() {
+  if (workspace_ != nullptr && b_ != nullptr) workspace_->release_growth(b_);
 }
 
 ClusterId GrowthState::add_center(NodeId v, std::uint64_t priority) {
   GCLUS_CHECK(v < g_->num_nodes());
-  GCLUS_CHECK(covered_[v] == 0, "center ", v, " already covered");
+  GCLUS_CHECK(b_->covered[v] == 0, "center ", v, " already covered");
   const auto cid = static_cast<ClusterId>(centers_.size());
   GCLUS_CHECK(centers_.size() < (1ULL << 32), "cluster id overflow");
   const std::uint64_t prio =
       priority == kPriorityFromClusterId ? cid : priority;
   GCLUS_CHECK(prio < (1ULL << 32), "priority must fit in 32 bits");
-  claim_[v].store(make_key(cid, prio), std::memory_order_relaxed);
-  covered_[v] = 1;
-  dist_[v] = 0;
+  b_->claim[v].store(make_key(cid, prio), std::memory_order_relaxed);
+  b_->covered[v] = 1;
+  b_->dist[v] = 0;
   centers_.push_back(v);
   activation_.push_back(static_cast<std::uint32_t>(steps_executed_));
-  frontier_.push_back(v);
+  b_->frontier.push_back(v);
   set_frontier_bit(v);
   frontier_degree_sum_ += g_->degree(v);
   uncovered_degree_sum_ -= g_->degree(v);
@@ -54,14 +72,14 @@ ClusterId GrowthState::add_center(NodeId v, std::uint64_t priority) {
 }
 
 bool GrowthState::decide_pull() {
-  pulling_ = decide_direction(pulling_, frontier_.size(), g_->num_nodes(),
+  pulling_ = decide_direction(pulling_, b_->frontier.size(), g_->num_nodes(),
                               frontier_degree_sum_, uncovered_degree_sum_,
                               options_);
   return pulling_;
 }
 
 NodeId GrowthState::step() {
-  if (frontier_.empty()) return 0;
+  if (b_->frontier.empty()) return 0;
   ++steps_executed_;
   const auto step_index = static_cast<std::uint32_t>(steps_executed_);
 
@@ -69,7 +87,7 @@ NodeId GrowthState::step() {
   if (options_.log_decisions) {
     std::fprintf(stderr,
                  "[growth] step=%u mode=%s frontier=%zu fdeg=%llu udeg=%llu\n",
-                 step_index, pull ? "pull" : "push", frontier_.size(),
+                 step_index, pull ? "pull" : "push", b_->frontier.size(),
                  static_cast<unsigned long long>(frontier_degree_sum_),
                  static_cast<unsigned long long>(uncovered_degree_sum_));
   }
@@ -77,7 +95,7 @@ NodeId GrowthState::step() {
   if (options_.record_step_log) {
     log.step = step_index;
     log.pull = pull;
-    log.frontier_size = static_cast<NodeId>(frontier_.size());
+    log.frontier_size = static_cast<NodeId>(b_->frontier.size());
     log.frontier_degree_sum = frontier_degree_sum_;
     log.uncovered_degree_sum = uncovered_degree_sum_;
   }
@@ -100,26 +118,27 @@ NodeId GrowthState::step() {
 NodeId GrowthState::step_push(std::uint32_t step_index) {
   // Phase 1 — proposals: every frontier node bids for its uncovered
   // neighbors with its cluster's claim key; fetch-min keeps the best bid.
-  for (auto& p : proposals_) p.clear();
+  for (auto& p : b_->proposals) p.clear();
   std::atomic<std::uint64_t> edges_scanned{0};
   {
     std::atomic<std::size_t> cursor{0};
     pool_->run_on_workers([&](std::size_t worker) {
-      auto& out = proposals_[worker];
+      auto& out = b_->proposals[worker];
       std::uint64_t scanned = 0;
       constexpr std::size_t kGrain = 64;
       for (;;) {
         const std::size_t lo =
             cursor.fetch_add(kGrain, std::memory_order_relaxed);
-        if (lo >= frontier_.size()) break;
-        const std::size_t hi = std::min(lo + kGrain, frontier_.size());
+        if (lo >= b_->frontier.size()) break;
+        const std::size_t hi = std::min(lo + kGrain, b_->frontier.size());
         for (std::size_t i = lo; i < hi; ++i) {
-          const NodeId u = frontier_[i];
-          const std::uint64_t key = claim_[u].load(std::memory_order_relaxed);
+          const NodeId u = b_->frontier[i];
+          const std::uint64_t key =
+              b_->claim[u].load(std::memory_order_relaxed);
           scanned += g_->degree(u);
           for (const NodeId v : g_->neighbors(u)) {
-            if (covered_[v] != 0) continue;
-            if (atomic_fetch_min(claim_[v], key)) out.push_back(v);
+            if (b_->covered[v] != 0) continue;
+            if (atomic_fetch_min(b_->claim[v], key)) out.push_back(v);
           }
         }
       }
@@ -131,21 +150,23 @@ NodeId GrowthState::step_push(std::uint32_t step_index) {
   // Phase 2 — commit: each proposed node is finalized exactly once (the
   // atomic-flag latch dedups multi-worker proposals), its distance derived
   // from the winning cluster's activation step.
-  for (auto& nf : next_frontier_) nf.clear();
+  for (auto& nf : b_->next_frontier) nf.clear();
   std::atomic<NodeId> newly{0};
   std::atomic<std::uint64_t> next_degree_sum{0};
   {
     pool_->run_on_workers([&](std::size_t worker) {
-      auto& in = proposals_[worker];
-      auto& out = next_frontier_[worker];
+      auto& in = b_->proposals[worker];
+      auto& out = b_->next_frontier[worker];
       NodeId local_new = 0;
       std::uint64_t local_deg = 0;
       for (const NodeId v : in) {
-        if (committing_[v].test_and_set(std::memory_order_relaxed)) continue;
-        const std::uint64_t key = claim_[v].load(std::memory_order_relaxed);
+        if (b_->committing[v].test_and_set(std::memory_order_relaxed)) {
+          continue;
+        }
+        const std::uint64_t key = b_->claim[v].load(std::memory_order_relaxed);
         const ClusterId c = key_cluster(key);
-        covered_[v] = 1;
-        dist_[v] = static_cast<Dist>(step_index - activation_[c]);
+        b_->covered[v] = 1;
+        b_->dist[v] = static_cast<Dist>(step_index - activation_[c]);
         out.push_back(v);
         ++local_new;
         local_deg += g_->degree(v);
@@ -169,14 +190,14 @@ NodeId GrowthState::step_pull(std::uint32_t step_index) {
   // node belongs to the current frontier (see the header), so this minimum
   // equals the push-side fetch-min, and same-step multi-hop claims are
   // impossible because newly claimed nodes are not in the bitmap.
-  for (auto& nf : next_frontier_) nf.clear();
+  for (auto& nf : b_->next_frontier) nf.clear();
   std::atomic<NodeId> newly{0};
   std::atomic<std::uint64_t> next_degree_sum{0};
   std::atomic<std::uint64_t> edges_scanned{0};
   {
     std::atomic<std::size_t> cursor{0};
     pool_->run_on_workers([&](std::size_t worker) {
-      auto& out = next_frontier_[worker];
+      auto& out = b_->next_frontier[worker];
       NodeId local_new = 0;
       std::uint64_t local_deg = 0;
       std::uint64_t scanned = 0;
@@ -184,24 +205,24 @@ NodeId GrowthState::step_pull(std::uint32_t step_index) {
       for (;;) {
         const std::size_t lo =
             cursor.fetch_add(kGrain, std::memory_order_relaxed);
-        if (lo >= uncovered_candidates_.size()) break;
+        if (lo >= b_->uncovered_candidates.size()) break;
         const std::size_t hi =
-            std::min(lo + kGrain, uncovered_candidates_.size());
+            std::min(lo + kGrain, b_->uncovered_candidates.size());
         for (std::size_t i = lo; i < hi; ++i) {
-          const NodeId v = uncovered_candidates_[i];
-          if (covered_[v] != 0) continue;
+          const NodeId v = b_->uncovered_candidates[i];
+          if (b_->covered[v] != 0) continue;
           std::uint64_t best = kUnclaimed;
           scanned += g_->degree(v);
           for (const NodeId u : g_->neighbors(v)) {
             if (!in_frontier(u)) continue;
             const std::uint64_t key =
-                claim_[u].load(std::memory_order_relaxed);
+                b_->claim[u].load(std::memory_order_relaxed);
             best = std::min(best, key);
           }
           if (best == kUnclaimed) continue;
-          claim_[v].store(best, std::memory_order_relaxed);
-          dist_[v] = static_cast<Dist>(step_index -
-                                       activation_[key_cluster(best)]);
+          b_->claim[v].store(best, std::memory_order_relaxed);
+          b_->dist[v] = static_cast<Dist>(step_index -
+                                          activation_[key_cluster(best)]);
           out.push_back(v);
           ++local_new;
           local_deg += g_->degree(v);
@@ -216,45 +237,45 @@ NodeId GrowthState::step_pull(std::uint32_t step_index) {
 
   // Commit phase: flip the coverage flags behind the barrier.
   install_next_frontier(next_degree_sum.load());
-  parallel_for(*pool_, 0, frontier_.size(),
-               [&](std::size_t i) { covered_[frontier_[i]] = 1; });
+  parallel_for(*pool_, 0, b_->frontier.size(),
+               [&](std::size_t i) { b_->covered[b_->frontier[i]] = 1; });
   return newly.load();
 }
 
 void GrowthState::install_next_frontier(std::uint64_t next_degree_sum) {
-  parallel_for(*pool_, 0, frontier_.size(),
-               [&](std::size_t i) { clear_frontier_bit(frontier_[i]); });
-  parallel_concat(*pool_, next_frontier_, frontier_);
-  parallel_for(*pool_, 0, frontier_.size(),
-               [&](std::size_t i) { set_frontier_bit(frontier_[i]); });
+  parallel_for(*pool_, 0, b_->frontier.size(),
+               [&](std::size_t i) { clear_frontier_bit(b_->frontier[i]); });
+  parallel_concat(*pool_, b_->next_frontier, b_->frontier);
+  parallel_for(*pool_, 0, b_->frontier.size(),
+               [&](std::size_t i) { set_frontier_bit(b_->frontier[i]); });
   frontier_degree_sum_ = next_degree_sum;
   uncovered_degree_sum_ -= next_degree_sum;
 }
 
 void GrowthState::maybe_compact_candidates() {
-  if (!worklist_needs_compaction(uncovered_candidates_.size(),
+  if (!worklist_needs_compaction(b_->uncovered_candidates.size(),
                                  uncovered_count())) {
     return;
   }
-  parallel_compact(*pool_, uncovered_candidates_,
-                   [&](NodeId v) { return covered_[v] == 0; });
+  parallel_compact(*pool_, b_->uncovered_candidates,
+                   [&](NodeId v) { return b_->covered[v] == 0; });
 }
 
 const std::vector<NodeId>& GrowthState::uncovered_candidates() {
   maybe_compact_candidates();
-  return uncovered_candidates_;
+  return b_->uncovered_candidates;
 }
 
 NodeId GrowthState::first_uncovered() {
-  for (const NodeId v : uncovered_candidates_) {
-    if (covered_[v] == 0) return v;
+  for (const NodeId v : b_->uncovered_candidates) {
+    if (b_->covered[v] == 0) return v;
   }
   return kInvalidNode;
 }
 
 NodeId GrowthState::grow_steps(std::size_t steps) {
   NodeId total = 0;
-  for (std::size_t s = 0; s < steps && !frontier_.empty(); ++s) {
+  for (std::size_t s = 0; s < steps && !b_->frontier.empty(); ++s) {
     total += step();
   }
   return total;
@@ -262,7 +283,7 @@ NodeId GrowthState::grow_steps(std::size_t steps) {
 
 NodeId GrowthState::grow_until_covered(NodeId target_new) {
   NodeId total = 0;
-  while (total < target_new && !frontier_.empty()) {
+  while (total < target_new && !b_->frontier.empty()) {
     total += step();
   }
   return total;
@@ -273,7 +294,7 @@ void GrowthState::add_singletons_for_uncovered() {
   // singleton cluster ids are assigned in node order, exactly as a full
   // range scan would.
   for (const NodeId v : uncovered_candidates()) {
-    if (covered_[v] == 0) add_center(v);
+    if (b_->covered[v] == 0) add_center(v);
   }
 }
 
@@ -283,14 +304,19 @@ Clustering GrowthState::finish() && {
               "finish() requires full coverage; uncovered nodes remain");
   Clustering out;
   out.assignment.resize(n);
-  out.dist_to_center = std::move(dist_);
+  // Moving the distance buffer out is right even for workspace-backed
+  // runs: the result needs fresh n-sized storage either way, so a copy
+  // would pay the same allocation *plus* the copy, while the workspace
+  // re-grows this one buffer on the next acquire at exactly the cost the
+  // copy destination would have paid here.
+  out.dist_to_center = std::move(b_->dist);
   out.centers = std::move(centers_);
   out.growth_steps = steps_executed_;
   out.push_steps = stats_.push_steps;
   out.pull_steps = stats_.pull_steps;
   parallel_for(*pool_, 0, n, [&](std::size_t v) {
     out.assignment[v] =
-        key_cluster(claim_[v].load(std::memory_order_relaxed));
+        key_cluster(b_->claim[v].load(std::memory_order_relaxed));
   });
   finalize_cluster_stats(out);
   return out;
@@ -302,7 +328,14 @@ std::vector<NodeId> sample_uncovered_centers(GrowthState& state,
                                              std::uint64_t draw_key,
                                              double p) {
   const auto& candidates = state.uncovered_candidates();
-  std::vector<std::vector<NodeId>> per_worker(pool.num_threads());
+  // Per-worker buffers come from the engine's scratch so a warm workspace
+  // also serves the selection sweeps.  All buffers are cleared (not just
+  // the first num_threads) because parallel_concat reads every one.
+  std::vector<std::vector<NodeId>>& per_worker = state.b_->sample;
+  if (per_worker.size() < pool.num_threads()) {
+    per_worker.resize(pool.num_threads());
+  }
+  for (auto& out : per_worker) out.clear();
   std::atomic<std::size_t> cursor{0};
   pool.run_on_workers([&](std::size_t worker) {
     auto& out = per_worker[worker];

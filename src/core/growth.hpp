@@ -28,12 +28,22 @@
 //
 // Per-step work is proportional to the cheaper of the two degree sums; a
 // full growth to cover the graph costs O(n + m) total claims.
+// Scratch memory: all per-node and per-worker buffers live in a
+// GrowthScratch (api/workspace.hpp).  By default each GrowthState owns a
+// private one — allocation behavior identical to the historical engine —
+// but a caller serving many runs on the same graph passes a Workspace and
+// the engine borrows its warm scratch instead, skipping the O(n + m)
+// allocate/fault cost per request (the reset of per-node state still
+// happens every run; see Workspace's header).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "api/run_context.hpp"
+#include "api/workspace.hpp"
 #include "common/traversal.hpp"
 #include "common/types.hpp"
 #include "core/clustering.hpp"
@@ -63,9 +73,18 @@ struct GrowthStats {
 
 class GrowthState {
  public:
-  /// Starts with every node uncovered and no clusters.
+  /// Starts with every node uncovered and no clusters.  With a non-null
+  /// `workspace` the engine borrows its growth scratch for the lifetime of
+  /// this object (released on destruction); otherwise it allocates a
+  /// private scratch.
   explicit GrowthState(const Graph& g, ThreadPool& pool,
-                       GrowthOptions options = default_growth_options());
+                       GrowthOptions options = default_growth_options(),
+                       Workspace* workspace = nullptr);
+
+  /// Resolves pool, growth options, and workspace from the context.
+  GrowthState(const Graph& g, const RunContext& ctx);
+
+  ~GrowthState();
 
   GrowthState(const GrowthState&) = delete;
   GrowthState& operator=(const GrowthState&) = delete;
@@ -93,12 +112,12 @@ class GrowthState {
   [[nodiscard]] NodeId uncovered_count() const {
     return static_cast<NodeId>(g_->num_nodes() - covered_count_);
   }
-  [[nodiscard]] bool frontier_empty() const { return frontier_.empty(); }
+  [[nodiscard]] bool frontier_empty() const { return b_->frontier.empty(); }
   [[nodiscard]] std::size_t steps_executed() const { return steps_executed_; }
   [[nodiscard]] ClusterId num_clusters() const {
     return static_cast<ClusterId>(centers_.size());
   }
-  [[nodiscard]] bool is_covered(NodeId v) const { return covered_[v] != 0; }
+  [[nodiscard]] bool is_covered(NodeId v) const { return b_->covered[v] != 0; }
 
   /// Per-step direction decisions and edge-scan counters.
   [[nodiscard]] const GrowthStats& stats() const { return stats_; }
@@ -146,26 +165,30 @@ class GrowthState {
   ThreadPool* pool_;
   GrowthOptions options_;
 
-  /// Claim key per node: (priority << 32) | cluster_id while racing; the
-  /// cluster id is the low 32 bits.  kUnclaimed when untouched.
-  std::vector<std::atomic<std::uint64_t>> claim_;
-  std::vector<std::uint8_t> covered_;        // committed coverage flags
-  std::vector<std::atomic_flag> committing_; // commit dedup latches
-  std::vector<Dist> dist_;                   // per-node dist to center
-  std::vector<NodeId> centers_;              // per cluster
-  std::vector<std::uint32_t> activation_;    // per cluster: steps_executed_
-                                             // at activation time
-  std::vector<NodeId> frontier_;
-  /// Dense frontier representation: bit v set iff v is in frontier_.
-  /// Pull steps test it instead of the byte-wide covered_ array (8x less
-  /// memory traffic on the neighbor scan).  Atomic words because distinct
-  /// frontier nodes can share a word during the parallel set/clear passes.
-  std::vector<std::atomic<std::uint64_t>> frontier_bits_;
-  std::vector<std::vector<NodeId>> proposals_;     // per worker
-  std::vector<std::vector<NodeId>> next_frontier_; // per worker
+  /// The per-run buffers, either borrowed from workspace_ or privately
+  /// owned.  Roles (b_ = the scratch):
+  ///   * b_->claim — claim key per node: (priority << 32) | cluster_id
+  ///     while racing; the cluster id is the low 32 bits; kUnclaimed when
+  ///     untouched;
+  ///   * b_->covered — committed coverage flags;
+  ///   * b_->committing — commit dedup latches (push phase 2);
+  ///   * b_->dist — per-node hop distance to the claiming center;
+  ///   * b_->frontier_bits — dense frontier: bit v set iff v is in
+  ///     b_->frontier.  Pull steps test it instead of the byte-wide
+  ///     covered array (8x less memory traffic on the neighbor scan);
+  ///     atomic words because distinct frontier nodes can share a word
+  ///     during the parallel set/clear passes;
+  ///   * b_->uncovered_candidates — ascending superset of the uncovered
+  ///     nodes (see uncovered_candidates());
+  ///   * b_->proposals / b_->next_frontier / b_->sample — per-worker
+  ///     output buffers.
+  Workspace* workspace_ = nullptr;
+  std::unique_ptr<GrowthScratch> owned_;
+  GrowthScratch* b_ = nullptr;
 
-  /// Ascending superset of the uncovered nodes (see uncovered_candidates).
-  std::vector<NodeId> uncovered_candidates_;
+  std::vector<NodeId> centers_;            // per cluster
+  std::vector<std::uint32_t> activation_;  // per cluster: steps_executed_
+                                           // at activation time
 
   std::uint64_t frontier_degree_sum_ = 0;   // over current frontier
   std::uint64_t uncovered_degree_sum_ = 0;  // over uncovered nodes
@@ -178,15 +201,15 @@ class GrowthState {
   static constexpr std::uint64_t kUnclaimed = ~std::uint64_t{0};
 
   void set_frontier_bit(NodeId v) {
-    frontier_bits_[v >> 6].fetch_or(1ULL << (v & 63),
-                                    std::memory_order_relaxed);
+    b_->frontier_bits[v >> 6].fetch_or(1ULL << (v & 63),
+                                       std::memory_order_relaxed);
   }
   void clear_frontier_bit(NodeId v) {
-    frontier_bits_[v >> 6].fetch_and(~(1ULL << (v & 63)),
-                                     std::memory_order_relaxed);
+    b_->frontier_bits[v >> 6].fetch_and(~(1ULL << (v & 63)),
+                                        std::memory_order_relaxed);
   }
   [[nodiscard]] bool in_frontier(NodeId v) const {
-    return (frontier_bits_[v >> 6].load(std::memory_order_relaxed) >>
+    return (b_->frontier_bits[v >> 6].load(std::memory_order_relaxed) >>
             (v & 63)) &
            1ULL;
   }
@@ -198,6 +221,13 @@ class GrowthState {
   [[nodiscard]] static ClusterId key_cluster(std::uint64_t key) {
     return static_cast<ClusterId>(key & 0xffffffffULL);
   }
+
+  // The center sampler reuses the scratch's per-worker sample buffers.
+  friend std::vector<NodeId> sample_uncovered_centers(GrowthState& state,
+                                                      ThreadPool& pool,
+                                                      std::uint64_t seed,
+                                                      std::uint64_t draw_key,
+                                                      double p);
 };
 
 /// Samples every uncovered node independently with probability `p`, using

@@ -91,38 +91,10 @@ std::vector<std::uint32_t> partition_forest(const Graph& q,
 std::pair<Dist, std::vector<std::uint32_t>> evaluate_centers(
     const Graph& g, const std::vector<NodeId>& centers) {
   GCLUS_CHECK(!centers.empty());
-  // Multi-source BFS, remembering which source claimed each node.
-  const NodeId n = g.num_nodes();
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<std::uint32_t> owner(n, UINT32_MAX);
-  std::vector<NodeId> frontier;
-  for (std::uint32_t i = 0; i < centers.size(); ++i) {
-    const NodeId c = centers[i];
-    GCLUS_CHECK(c < n);
-    if (dist[c] == kInfDist) {
-      dist[c] = 0;
-      owner[c] = i;
-      frontier.push_back(c);
-    }
-  }
-  std::vector<NodeId> next;
-  Dist level = 0;
-  while (!frontier.empty()) {
-    ++level;
-    next.clear();
-    for (const NodeId u : frontier) {
-      for (const NodeId v : g.neighbors(u)) {
-        if (dist[v] == kInfDist) {
-          dist[v] = level;
-          owner[v] = owner[u];
-          next.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
-  }
+  std::vector<std::uint32_t> owner;
+  const std::vector<Dist> dist = multi_source_bfs(g, centers, &owner);
   Dist radius = 0;
-  for (NodeId v = 0; v < n; ++v) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
     GCLUS_CHECK(dist[v] != kInfDist,
                 "center set does not dominate all components");
     radius = std::max(radius, dist[v]);
@@ -144,8 +116,7 @@ KCenterResult kcenter_approx(const Graph& g, NodeId k,
   const std::uint32_t tau = std::max<std::uint32_t>(tau_from_k, comps.count);
 
   ClusterOptions copts;
-  copts.seed = options.seed;
-  copts.pool = options.pool;
+  copts.context() = options.context();
   const Clustering clustering = cluster(g, tau, copts);
 
   KCenterResult result;

@@ -16,20 +16,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.hpp"
 #include "core/cluster.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 
 namespace gclus {
 
-struct KCenterOptions {
-  std::uint64_t seed = 1;
-
+/// Execution environment plus the τ policy knob.
+struct KCenterOptions : RunContext {
   /// τ is chosen as max(h, ceil(scale · k / log²n)) where h is the number
   /// of connected components (§3.2).
   double tau_scale = 1.0;
-
-  ThreadPool* pool = nullptr;
 };
 
 struct KCenterResult {

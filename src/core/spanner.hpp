@@ -18,16 +18,18 @@
 
 #include <cstdint>
 
+#include "api/run_context.hpp"
 #include "graph/weighted.hpp"
 
 namespace gclus {
 
-struct SpannerOptions {
+/// Execution environment plus the stretch parameter.  The sparsification
+/// is sequential and randomized only through counter-based draws on the
+/// context seed; pool/growth/workspace are currently unused.
+struct SpannerOptions : RunContext {
   /// Stretch parameter: the result is a (2k−1)-spanner.  k = 2 gives a
   /// 3-spanner with ~n^{3/2} edges; k = 3 a 5-spanner with ~n^{4/3}.
   unsigned k = 2;
-
-  std::uint64_t seed = 1;
 };
 
 struct SpannerResult {

@@ -22,14 +22,20 @@
 
 #include <cstdint>
 
+#include "api/run_context.hpp"
 #include "common/types.hpp"
 #include "graph/weighted.hpp"
-#include "par/thread_pool.hpp"
 
 namespace gclus {
 
-struct WeightedClusterOptions {
-  std::uint64_t seed = 1;
+/// Execution environment plus CLUSTER's selection constants.  The weighted
+/// growth process is a serial deterministic Dijkstra, so the context's
+/// pool/growth/workspace fields are currently unused here; they exist so
+/// the weighted pipeline shares the uniform front door (and gains them for
+/// free once the growth process is parallelized).  The per-wave center
+/// draws intentionally share CLUSTER's exact (seed, iteration, node)
+/// coordinates — the unit-weight equivalence guarantee depends on it.
+struct WeightedClusterOptions : RunContext {
   double selection_constant = 4.0;
   double threshold_constant = 8.0;
 };

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "api/workspace.hpp"
 #include "common/check.hpp"
 #include "par/parallel_for.hpp"
 
@@ -13,15 +14,19 @@ std::vector<Dist> bfs_distances(const Graph& g, NodeId source) {
 }
 
 std::vector<Dist> multi_source_bfs(const Graph& g,
-                                   const std::vector<NodeId>& sources) {
+                                   const std::vector<NodeId>& sources,
+                                   std::vector<std::uint32_t>* owner_out) {
   const NodeId n = g.num_nodes();
   std::vector<Dist> dist(n, kInfDist);
+  if (owner_out != nullptr) owner_out->assign(n, UINT32_MAX);
   std::vector<NodeId> frontier;
   frontier.reserve(sources.size());
-  for (const NodeId s : sources) {
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
     GCLUS_CHECK(s < n, "BFS source out of range");
     if (dist[s] == kInfDist) {
       dist[s] = 0;
+      if (owner_out != nullptr) (*owner_out)[s] = i;
       frontier.push_back(s);
     }
   }
@@ -34,6 +39,7 @@ std::vector<Dist> multi_source_bfs(const Graph& g,
       for (const NodeId v : g.neighbors(u)) {
         if (dist[v] == kInfDist) {
           dist[v] = level;
+          if (owner_out != nullptr) (*owner_out)[v] = (*owner_out)[u];
           next.push_back(v);
         }
       }
@@ -55,26 +61,41 @@ constexpr std::uint64_t kSerialPushCutoff = 2048;
 std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
                                std::size_t* levels_out,
                                const GrowthOptions& options,
-                               DirectionCounts* counts_out) {
+                               DirectionCounts* counts_out,
+                               Workspace* workspace) {
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(source < n);
+  const std::size_t workers = pool.num_threads();
+  // Scratch: borrowed from the workspace when one is supplied (the
+  // repeated-traversal case), otherwise stack-owned for this call.
+  BfsScratch local;
+  BfsScratch* b;
+  if (workspace != nullptr) {
+    b = workspace->acquire_bfs(n, workers);
+  } else {
+    local.ensure(n, workers);
+    b = &local;
+  }
   // Distances double as the visited set; claims race benignly because all
   // writers of a node in one level write the same value — but push uses a
   // CAS so each node enters the next frontier exactly once, and pull
   // writes are owner-only.
-  std::vector<std::atomic<Dist>> dist(n);
+  std::vector<std::atomic<Dist>>& dist = b->dist;
   parallel_for(pool, 0, n, [&](std::size_t i) {
     dist[i].store(kInfDist, std::memory_order_relaxed);
   });
   dist[source].store(0, std::memory_order_relaxed);
 
-  std::vector<NodeId> frontier{source};
+  std::vector<NodeId>& frontier = b->frontier;
+  frontier.clear();
+  frontier.push_back(source);
   // Ascending superset of the unvisited nodes, compacted lazily; pull
   // levels iterate this instead of the full node range.  Built on the
   // first pull level so push-only traversals (pinned mode, or sparse
   // frontiers under kAuto — eccentricity sweeps over road-like graphs
   // run thousands of these) never pay the O(n) initialization.
-  std::vector<NodeId> candidates;
+  std::vector<NodeId>& candidates = b->candidates;
+  candidates.clear();
 
   std::uint64_t frontier_deg = g.degree(source);
   std::uint64_t unvisited_deg = g.num_half_edges() - g.degree(source);
@@ -83,8 +104,8 @@ std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
 
   std::size_t levels = 0;
   DirectionCounts counts;
-  const std::size_t workers = pool.num_threads();
-  std::vector<std::vector<NodeId>> local_next(workers);
+  std::vector<std::vector<NodeId>>& local_next = b->local_next;
+  for (auto& buf : local_next) buf.clear();
 
   while (!frontier.empty()) {
     ++levels;
@@ -207,12 +228,15 @@ std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
   parallel_for(pool, 0, n, [&](std::size_t i) {
     result[i] = dist[i].load(std::memory_order_relaxed);
   });
+  if (workspace != nullptr) workspace->release_bfs(b);
   return result;
 }
 
-BfsExtremum bfs_extremum(const Graph& g, NodeId source, ThreadPool* pool) {
+BfsExtremum bfs_extremum(const Graph& g, NodeId source, ThreadPool* pool,
+                         Workspace* workspace) {
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
-  const auto dist = parallel_bfs(p, g, source);
+  const auto dist = parallel_bfs(p, g, source, nullptr,
+                                 default_growth_options(), nullptr, workspace);
   BfsExtremum out;
   out.farthest_node = source;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -19,24 +19,36 @@
 
 namespace gclus {
 
+class Workspace;
+
 /// Hop distances from `source`; kInfDist for unreachable nodes.
 [[nodiscard]] std::vector<Dist> bfs_distances(const Graph& g, NodeId source);
 
 /// Hop distance to the nearest of `sources` (kInfDist if unreachable).
+/// When `owner_out` is non-null it receives, per node, the index into
+/// `sources` of the source that claimed it (UINT32_MAX if unreachable;
+/// duplicate sources resolve to the first index) — the Voronoi partition
+/// the k-center evaluation and the registry's center-set adapters build
+/// on.  Claims propagate along BFS tree edges, so every claimed non-source
+/// node has a same-owner neighbor one hop closer.
 [[nodiscard]] std::vector<Dist> multi_source_bfs(
-    const Graph& g, const std::vector<NodeId>& sources);
+    const Graph& g, const std::vector<NodeId>& sources,
+    std::vector<std::uint32_t>* owner_out = nullptr);
 
 /// Level-synchronous parallel BFS.  Returns the same distances as
 /// bfs_distances; also reports the number of levels (rounds) executed via
 /// `levels_out` when non-null — this is the Θ(Δ)-round cost the paper's
 /// BFS baseline pays in the distributed setting.  `options` controls the
 /// per-level push/pull direction choice; `counts_out` (when non-null)
-/// receives the per-direction level split.
+/// receives the per-direction level split.  A non-null `workspace` lends
+/// its BFS scratch (atomic distance array, worklists) for the duration of
+/// the call instead of allocating per run — the win repeated traversals of
+/// the same graph care about (eccentricity sweeps, serving loops).
 [[nodiscard]] std::vector<Dist> parallel_bfs(
     ThreadPool& pool, const Graph& g, NodeId source,
     std::size_t* levels_out = nullptr,
     const GrowthOptions& options = default_growth_options(),
-    DirectionCounts* counts_out = nullptr);
+    DirectionCounts* counts_out = nullptr, Workspace* workspace = nullptr);
 
 /// Result of one BFS used for eccentricity-style queries.
 struct BfsExtremum {
@@ -56,6 +68,7 @@ struct BfsExtremum {
 /// must either pass a dedicated pool per thread or use the sequential
 /// bfs_distances instead.
 [[nodiscard]] BfsExtremum bfs_extremum(const Graph& g, NodeId source,
-                                       ThreadPool* pool = nullptr);
+                                       ThreadPool* pool = nullptr,
+                                       Workspace* workspace = nullptr);
 
 }  // namespace gclus

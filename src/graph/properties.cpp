@@ -27,9 +27,9 @@ Dist double_sweep_lower_bound(const Graph& g, NodeId start) {
   return second.eccentricity;
 }
 
-DiameterResult exact_diameter(const Graph& g, NodeId start) {
+ExactDiameterResult exact_diameter(const Graph& g, NodeId start) {
   GCLUS_CHECK(g.num_nodes() > 0);
-  DiameterResult out;
+  ExactDiameterResult out;
   if (g.num_nodes() == 1) return out;
 
   // Double sweep: a -> u (farthest from a) -> w (farthest from u).

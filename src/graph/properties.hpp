@@ -31,14 +31,18 @@ struct DegreeStats {
 /// frequently tight in practice.
 [[nodiscard]] Dist double_sweep_lower_bound(const Graph& g, NodeId start = 0);
 
-struct DiameterResult {
+/// Result of the exact iFUB computation.  Named "Exact..." to keep it
+/// unmistakably distinct from core/diameter.hpp's DiameterApprox — the
+/// decomposition-based estimate this one provides the ground truth for.
+struct ExactDiameterResult {
   Dist diameter = 0;
   std::size_t bfs_runs = 0;  // cost: number of full BFS traversals used
 };
 
 /// Exact diameter of a *connected* graph via iFUB.
 /// `start` seeds the initial double sweep.
-[[nodiscard]] DiameterResult exact_diameter(const Graph& g, NodeId start = 0);
+[[nodiscard]] ExactDiameterResult exact_diameter(const Graph& g,
+                                                 NodeId start = 0);
 
 /// Eccentricity of every node (n BFS runs — small graphs/tests only).
 [[nodiscard]] std::vector<Dist> all_eccentricities(const Graph& g);

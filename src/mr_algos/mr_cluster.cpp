@@ -214,7 +214,7 @@ MrDiameterResult mr_cluster_diameter(mr::Engine& engine, const Graph& g,
       quotient_edges > options.max_quotient_edges) {
     SpannerOptions sopts;
     sopts.k = 2;
-    sopts.seed = hash_combine(options.seed, 0x5Bu);
+    sopts.seed = derive_seed(options.seed, kSeedTagMrSpanner);
     SpannerResult sp = baswana_sen_spanner(quotient, sopts);
     quotient = std::move(sp.spanner);
     out.sparsified = true;

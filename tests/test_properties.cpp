@@ -44,7 +44,7 @@ class ExactDiameterTest
 
 TEST_P(ExactDiameterTest, MatchesBruteForce) {
   const auto& [name, graph] = GetParam();
-  const DiameterResult r = exact_diameter(graph);
+  const ExactDiameterResult r = exact_diameter(graph);
   EXPECT_EQ(r.diameter, testutil::brute_force_diameter(graph)) << name;
   EXPECT_GE(r.bfs_runs, 3u);
   // iFUB must be far cheaper than the n-BFS brute force on non-tiny inputs.
