@@ -12,7 +12,13 @@
 //
 // There is deliberately no per-algorithm switch statement here: the
 // registry supplies the schema and the adapter, so a new decomposition
-// algorithm becomes selectable the moment it registers itself.
+// algorithm becomes selectable the moment it registers itself — which is
+// how the MR-emulated variants are driven too:
+//
+//   $ ./decompose_file --algo=mr.cluster --tau=16 --spill_bytes=65536
+//
+// runs CLUSTER in MR rounds with the out-of-core shuffle capped at 64 KiB
+// and prints round/spill/combiner telemetry alongside the clustering.
 //
 // The file format is the SNAP/LAW edge list the paper's datasets ship in:
 // one "u v" pair per line, '#'/'%' comments, arbitrary sparse ids.  With

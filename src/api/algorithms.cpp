@@ -13,6 +13,7 @@
 // into full Clusterings (the nearest-center Voronoi partition), so the
 // registry's uniform return type covers them too.
 #include <algorithm>
+#include <limits>
 
 #include "api/registry.hpp"
 #include "baselines/gonzalez.hpp"
@@ -25,6 +26,10 @@
 #include "core/weighted_cluster.hpp"
 #include "graph/bfs.hpp"
 #include "graph/weighted.hpp"
+#include "mapreduce/engine.hpp"
+#include "mr_algos/mr_bfs.hpp"
+#include "mr_algos/mr_cluster.hpp"
+#include "mr_algos/mr_mpx.hpp"
 
 namespace gclus {
 namespace {
@@ -188,6 +193,110 @@ void register_kcenter(Registry& r) {
          }});
 }
 
+// --- MR-emulated algorithms (mr.*): the same decompositions executed in
+// MR(M_G, M_L) rounds on the out-of-core engine.  Shared engine knobs are
+// declared once; every adapter emits the engine's round/volume/spill
+// metrics through the context's telemetry sink. ---
+
+const ParamSpec kMrParams[] = {
+    {"partitions", Type::kU32, "64",
+     "shuffle partition count (pinned; never derived from threads)"},
+    {"spill_bytes", Type::kU64, "0",
+     "map-phase shuffle buffer budget in bytes; 0 = in-memory"},
+    {"ml_pairs", Type::kU64, "0",
+     "M_L local memory in pairs for round accounting; 0 = unbounded"},
+    {"combiners", Type::kBool, "true", "run mapper-side combiners"},
+};
+
+mr::Config mr_config(const AlgoParams& p, RunContext& ctx) {
+  mr::Config cfg;
+  cfg.pool = ctx.pool;
+  cfg.num_partitions = p.get_u32("partitions", 64);
+  cfg.spill_memory_bytes = p.get_u64("spill_bytes", 0);
+  const std::uint64_t ml = p.get_u64("ml_pairs", 0);
+  if (ml > 0) cfg.local_memory_pairs = static_cast<std::size_t>(ml);
+  cfg.enable_combiners = p.get_bool("combiners", true);
+  return cfg;
+}
+
+void emit_mr_metrics(RunContext& ctx, const mr::Engine& engine) {
+  const mr::Metrics& m = engine.metrics();
+  ctx.emit("mr.rounds", static_cast<double>(m.rounds));
+  ctx.emit("mr.pairs_shuffled", static_cast<double>(m.pairs_shuffled));
+  ctx.emit("mr.bytes_spilled", static_cast<double>(m.bytes_spilled));
+  ctx.emit("mr.spill_runs", static_cast<double>(m.spill_runs));
+  ctx.emit("mr.runs_merged", static_cast<double>(m.runs_merged));
+  ctx.emit("mr.combiner_reduction", m.combiner_reduction());
+}
+
+void add_mr(Registry& r, std::string name, std::string summary,
+            std::vector<ParamSpec> own_params,
+            Clustering (*body)(mr::Engine&, const Graph&, const AlgoParams&,
+                               RunContext&)) {
+  for (const ParamSpec& spec : kMrParams) own_params.push_back(spec);
+  r.add({std::move(name), std::move(summary), std::move(own_params),
+         [body](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           mr::Engine engine(mr_config(p, ctx));
+           Clustering c = body(engine, g, p, ctx);
+           emit_mr_metrics(ctx, engine);
+           return c;
+         }});
+}
+
+void register_mr_algorithms(Registry& r) {
+  add_mr(r, "mr.cluster",
+         "CLUSTER(τ) executed in MR rounds on the out-of-core engine; "
+         "identical partition to 'cluster' for the same seed",
+         {kTauSpec, kSelectionSpec, kThresholdSpec},
+         [](mr::Engine& engine, const Graph& g, const AlgoParams& p,
+            RunContext& ctx) {
+           mr_algos::MrClusterOptions o;
+           o.seed = ctx.seed;
+           o.selection_constant = p.get_double("selection_constant", 4.0);
+           o.threshold_constant = p.get_double("threshold_constant", 8.0);
+           return mr_algos::mr_cluster(engine, g, p.get_u32("tau", 8), o)
+               .clustering;
+         });
+
+  add_mr(r, "mr.mpx",
+         "MPX executed in MR rounds on the out-of-core engine; identical "
+         "partition to 'mpx' for the same seed",
+         {{"beta", Type::kDouble, "0.5",
+           "exponential-shift rate; larger β → more, smaller clusters"}},
+         [](mr::Engine& engine, const Graph& g, const AlgoParams& p,
+            RunContext& ctx) {
+           return mr_algos::mr_mpx(engine, g, p.get_double("beta", 0.5),
+                                   ctx.seed)
+               .clustering;
+         });
+
+  add_mr(r, "mr.bfs",
+         "level-synchronous MR BFS from one source, returned as the "
+         "single-cluster decomposition (dist_to_center = BFS distance)",
+         {{"source", Type::kU32, "0", "BFS source node (clamped to n-1)"}},
+         [](mr::Engine& engine, const Graph& g, const AlgoParams& p,
+            RunContext& ctx) {
+           const NodeId source = std::min<NodeId>(
+               p.get_u32("source", 0), g.num_nodes() - 1);
+           const mr_algos::MrBfsResult res =
+               mr_algos::mr_bfs(engine, g, source);
+           ctx.emit("mr.bfs.eccentricity",
+                    static_cast<double>(res.eccentricity));
+           Clustering out;
+           out.centers = {source};
+           out.assignment.assign(g.num_nodes(), 0);
+           for (NodeId v = 0; v < g.num_nodes(); ++v) {
+             GCLUS_CHECK(res.dist[v] != kInfDist, "mr.bfs: source ", source,
+                         " does not reach node ", v,
+                         " — run on one connected component");
+           }
+           out.dist_to_center = res.dist;
+           out.growth_steps = res.supersteps;
+           finalize_cluster_stats(out);
+           return out;
+         });
+}
+
 }  // namespace
 
 namespace detail {
@@ -200,6 +309,7 @@ void register_builtin_algorithms(Registry& r) {
   register_random_centers(r);
   register_gonzalez(r);
   register_kcenter(r);
+  register_mr_algorithms(r);
 }
 
 }  // namespace detail

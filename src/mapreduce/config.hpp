@@ -12,17 +12,40 @@
 // reflect the round-dominated cost profile of a loosely-coupled cluster
 // (the regime in which the paper's experiments run) rather than the
 // shared-memory box the emulator happens to execute on.
+//
+// Beyond accounting, the engine can genuinely bound its shuffle memory:
+// `spill_memory_bytes` caps the bytes buffered during the map phase, with
+// overflow written to per-partition sorted run files and sort-merged back
+// in the reduce phase (see engine.hpp / spill.hpp).  Combiners — mapper-
+// side associative folds — shrink runs before they hit the budget or the
+// disk, mirroring the real systems the model abstracts.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
+
+namespace gclus {
+class ThreadPool;
+}  // namespace gclus
 
 namespace gclus::mr {
 
+/// Explicitly unbounded spill budget: never spill, and never inherit the
+/// GCLUS_MR_SPILL_BYTES override (unlike the default 0, which means
+/// "unset" and does).
+inline constexpr std::uint64_t kSpillUnbounded =
+    std::numeric_limits<std::uint64_t>::max();
+
 struct Config {
   /// Worker threads executing reducers.  0 = use the global pool size.
+  /// Ignored when `pool` is set.
   std::size_t num_workers = 0;
+
+  /// External thread pool to run on (not owned).  Takes precedence over
+  /// `num_workers`; lets a RunContext-provided pool drive the engine.
+  ThreadPool* pool = nullptr;
 
   /// M_L: maximum number of key-value pairs a single reducer may receive.
   std::size_t local_memory_pairs = std::numeric_limits<std::size_t>::max();
@@ -37,11 +60,43 @@ struct Config {
   /// Simulated per-round latency (seconds), modeling scheduling + network
   /// barrier costs of a distributed round.  Only accounted, never slept.
   double per_round_latency_s = 0.0;
+
+  /// Shuffle partition count.  Pinned in the config — never derived from
+  /// the worker count — so the concatenated round output is a pure
+  /// function of the input regardless of how many threads execute it.
+  std::size_t num_partitions = 64;
+
+  /// Byte budget for map-phase shuffle buffers (real record bytes, not
+  /// pair counts).  0 = unbounded *and* overridable: engines constructed
+  /// with the default 0 inherit GCLUS_MR_SPILL_BYTES when set; use
+  /// kSpillUnbounded to demand in-memory execution regardless of the
+  /// environment.  When the budget is exceeded, buffered records are
+  /// sorted (and combined, if the round declares a combiner) and spilled
+  /// to per-partition run files; honoured only for trivially-copyable
+  /// key/value types.  The reduce phase streams spilled runs through
+  /// bounded cursors sized from this budget, with an unavoidable
+  /// single-pass floor of one record-sized buffer per merged run (see
+  /// Metrics::peak_merge_buffer_bytes).
+  std::uint64_t spill_memory_bytes = 0;
+
+  /// Where spill files go; empty = the system temp directory.  The engine
+  /// creates (and removes) a unique per-round subdirectory underneath.
+  std::string spill_dir;
+
+  /// Abort if the map phase ever buffers more than the spill budget
+  /// allows (plus the unavoidable one-record-per-worker slack).  Set by
+  /// GCLUS_MR_SPILL_STRICT=1 for engines that don't set it explicitly.
+  bool spill_strict = false;
+
+  /// Master switch for mapper-side combiners; rounds declaring a combiner
+  /// run it only when this is true.  Off exists so tests can assert
+  /// combiner-on/off equivalence and measure the shuffle reduction.
+  bool enable_combiners = true;
 };
 
 struct Metrics {
   std::size_t rounds = 0;
-  std::uint64_t pairs_shuffled = 0;   // total pairs entering reducers
+  std::uint64_t pairs_shuffled = 0;   // total pairs entering the shuffle
   std::uint64_t bytes_shuffled = 0;   // same, in bytes
   std::size_t max_reducer_pairs = 0;  // largest single-key group observed
   std::uint64_t max_round_pairs = 0;  // largest per-round volume (M_G proxy)
@@ -50,6 +105,40 @@ struct Metrics {
 
   /// Modeled round overhead accumulated so far.
   double simulated_latency_s = 0.0;
+
+  // --- Out-of-core shuffle accounting. ---
+
+  /// Payload bytes written to spill files across all rounds.
+  std::uint64_t bytes_spilled = 0;
+
+  /// Sorted runs written to disk.
+  std::uint64_t spill_runs = 0;
+
+  /// Sorted runs (in-memory leftovers + spilled) consumed by reduce-phase
+  /// merges.
+  std::uint64_t runs_merged = 0;
+
+  /// Pairs entering / leaving mapper-side combiners; in/out is the
+  /// combiner's shuffle-volume reduction factor.
+  std::uint64_t combiner_pairs_in = 0;
+  std::uint64_t combiner_pairs_out = 0;
+
+  /// Peak bytes buffered by the map phase in any single round (sum of the
+  /// per-worker peaks — an upper bound on simultaneous usage).
+  std::uint64_t peak_shuffle_buffer_bytes = 0;
+
+  /// Peak bytes of reduce-phase cursor read buffers in any single round
+  /// (sum of per-worker peaks).  Sized from the budget but floored at one
+  /// record per merged run — a single-pass sort-merge cannot go lower, so
+  /// staying within budget here requires budget >= fan-in × record size.
+  std::uint64_t peak_merge_buffer_bytes = 0;
+
+  [[nodiscard]] double combiner_reduction() const {
+    return combiner_pairs_out == 0
+               ? 1.0
+               : static_cast<double>(combiner_pairs_in) /
+                     static_cast<double>(combiner_pairs_out);
+  }
 
   void reset() { *this = Metrics{}; }
 };

@@ -1,3 +1,31 @@
 #include "mapreduce/engine.hpp"
 
-// Engine is header-only (templated round); this TU anchors the library.
+#include <cstdlib>
+#include <cstring>
+
+namespace gclus::mr {
+
+// Environment overrides let CI (and local debugging) force every engine
+// in a process through the out-of-core shuffle without touching each call
+// site: GCLUS_MR_SPILL_BYTES supplies a budget to engines that kept the
+// unbounded default, GCLUS_MR_SPILL_STRICT=1 turns budget violations into
+// aborts.  Explicitly-configured engines are never overridden.
+Config apply_env_overrides(Config config) {
+  if (config.spill_memory_bytes == 0) {
+    if (const char* env = std::getenv("GCLUS_MR_SPILL_BYTES")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        config.spill_memory_bytes = static_cast<std::uint64_t>(v);
+      }
+    }
+  }
+  if (!config.spill_strict) {
+    if (const char* env = std::getenv("GCLUS_MR_SPILL_STRICT")) {
+      config.spill_strict = std::strcmp(env, "1") == 0;
+    }
+  }
+  return config;
+}
+
+}  // namespace gclus::mr

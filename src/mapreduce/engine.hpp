@@ -1,25 +1,49 @@
 // The round-based MR(M_G, M_L) execution engine.
 //
-// Engine::round() implements exactly one round of the model: the input
-// multiset of key-value pairs is shuffled (hash-partitioned and grouped by
-// key), a user reducer runs once per distinct key over that key's values,
-// and whatever pairs the reducers emit become the round's output.
+// Engine::round() implements exactly one round of the model as a two-phase
+// external shuffle:
 //
-// Execution is backed by a thread pool: partitions are processed
-// concurrently, groups within a partition sequentially in sorted key
-// order, which makes every round a deterministic function of its input.
+//   Map phase    — workers scan fixed-size chunks of the input and scatter
+//                  each pair into per-worker, per-partition buckets (the
+//                  hash partitioner; partition count pinned in Config, so
+//                  the output never depends on the worker count).  When a
+//                  round declares a *combiner* — an associative,
+//                  commutative fold over same-key values — buckets are
+//                  pre-aggregated before they travel further.  If buffered
+//                  bytes exceed Config::spill_memory_bytes, buckets are
+//                  sorted, combined, and appended to per-partition run
+//                  files on disk (spill.hpp), so a round's shuffle memory
+//                  is genuinely bounded, not merely accounted.
+//
+//   Reduce phase — each partition sort-merges its runs (in-memory
+//                  leftovers + spilled) into one key-ordered stream and
+//                  feeds each same-key group to the user reducer.
+//
+// Determinism: pairs are tagged with their input position, runs are sorted
+// by (key, position), and the merge is stable on that order, so the
+// concatenated output is a pure function of the input — identical across
+// worker counts and across spilled vs in-memory execution.  Rounds with a
+// combiner additionally require the standard MR combiner contract (the
+// reducer must be invariant to pre-aggregation of its inputs) for the
+// *reducer output* to be byte-identical; every combiner declared in
+// mr_algos/ satisfies it (min-folds, dedup, sketch OR).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "mapreduce/config.hpp"
+#include "mapreduce/spill.hpp"
 #include "par/thread_pool.hpp"
 
 namespace gclus::mr {
@@ -37,12 +61,23 @@ class Emitter {
   std::vector<std::pair<OutK, OutV>>& sink_;
 };
 
+/// Tag type for "this round has no combiner".
+struct NoCombiner {};
+
+/// Applies environment overrides (GCLUS_MR_SPILL_BYTES for engines left at
+/// the unbounded default, GCLUS_MR_SPILL_STRICT) — how CI's low-memory job
+/// forces the whole MR test suite through the out-of-core path.
+Config apply_env_overrides(Config config);
+
 class Engine {
  public:
   explicit Engine(Config config = {})
-      : config_(config),
-        pool_(config.num_workers == 0 ? nullptr
-                                      : new ThreadPool(config.num_workers)) {}
+      : config_(apply_env_overrides(std::move(config))),
+        pool_(config_.pool != nullptr || config_.num_workers == 0
+                  ? nullptr
+                  : new ThreadPool(config_.num_workers)) {
+    GCLUS_CHECK(config_.num_partitions >= 1);
+  }
 
   ~Engine() { delete pool_; }
   Engine(const Engine&) = delete;
@@ -54,6 +89,7 @@ class Engine {
   void reset_metrics() { metrics_.reset(); }
 
   ThreadPool& pool() {
+    if (config_.pool != nullptr) return *config_.pool;
     return pool_ != nullptr ? *pool_ : ThreadPool::global();
   }
 
@@ -61,75 +97,254 @@ class Engine {
   ///
   /// `Reduce` is invoked as reduce(const K& key, std::span<V> values,
   /// Emitter<OutK, OutV>&).  Keys must be totally ordered (operator<) and
-  /// equality-comparable; values arrive in a deterministic order (sorted by
-  /// their original position in `input`).
+  /// values arrive in a deterministic order (sorted by their original
+  /// position in `input`).
   template <typename K, typename V, typename OutK, typename OutV,
             typename Reduce>
   std::vector<std::pair<OutK, OutV>> round(std::vector<std::pair<K, V>> input,
                                            Reduce reduce) {
+    return round_combine<K, V, OutK, OutV>(std::move(input),
+                                           std::move(reduce), NoCombiner{});
+  }
+
+  /// Executes one MR round with a mapper-side combiner.
+  ///
+  /// `Combine` is an associative, commutative fold `V(const V&, const V&)`
+  /// over same-key values; it pre-aggregates buckets before they are
+  /// buffered onward or spilled, cutting shuffle volume (tracked in
+  /// Metrics::combiner_pairs_in/out).  With a combiner, a reducer group
+  /// holds one folded value per run rather than every original value, so
+  /// only declare one when the reducer is invariant to that (the standard
+  /// MR combiner contract).  Config::enable_combiners == false makes this
+  /// identical to round().
+  template <typename K, typename V, typename OutK, typename OutV,
+            typename Reduce, typename Combine>
+  std::vector<std::pair<OutK, OutV>> round_combine(
+      std::vector<std::pair<K, V>> input, Reduce reduce, Combine combine) {
     account_round(input.size(), sizeof(std::pair<K, V>));
 
-    const std::size_t num_partitions = std::max<std::size_t>(
-        1, pool().num_threads() * 4);
-
-    // --- Shuffle: stable hash partition by key. ---
-    // Tag each pair with its input position so grouping is reproducible.
+    // A pair tagged with its input position: the reproducibility handle
+    // every later ordering decision hangs off.
     struct Tagged {
       K key;
       V value;
       std::uint64_t pos;
     };
-    std::vector<std::vector<Tagged>> parts(num_partitions);
-    for (std::uint64_t i = 0; i < input.size(); ++i) {
-      auto& [k, v] = input[i];
-      const std::size_t p = partition_of(k, num_partitions);
-      parts[p].push_back(Tagged{std::move(k), std::move(v), i});
-    }
-    input.clear();
-    input.shrink_to_fit();
+    const auto tagged_less = [](const Tagged& a, const Tagged& b) {
+      if (a.key < b.key) return true;
+      if (b.key < a.key) return false;
+      return a.pos < b.pos;
+    };
 
-    // --- Reduce: each partition groups its pairs and runs the reducer. ---
-    std::vector<std::vector<std::pair<OutK, OutV>>> outputs(num_partitions);
-    std::atomic<std::size_t> max_group{0};
-    std::atomic<std::size_t> cursor{0};
-    pool().run_on_workers([&](std::size_t) {
-      for (;;) {
-        const std::size_t p = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (p >= num_partitions) break;
-        auto& part = parts[p];
-        std::sort(part.begin(), part.end(),
-                  [](const Tagged& a, const Tagged& b) {
-                    if (a.key < b.key) return true;
-                    if (b.key < a.key) return false;
-                    return a.pos < b.pos;
-                  });
-        Emitter<OutK, OutV> emitter(outputs[p]);
-        std::size_t local_max = 0;
+    constexpr bool kSpillable = std::is_trivially_copyable_v<K> &&
+                                std::is_trivially_copyable_v<V>;
+    constexpr bool kHasCombiner = !std::is_same_v<Combine, NoCombiner>;
+    const bool use_combiner = kHasCombiner && config_.enable_combiners;
+    const bool spill_enabled = kSpillable && config_.spill_memory_bytes > 0 &&
+                               config_.spill_memory_bytes != kSpillUnbounded;
+
+    ThreadPool& workers = pool();
+    const std::size_t num_workers = std::max<std::size_t>(
+        1, workers.num_threads());
+    const std::size_t num_partitions = config_.num_partitions;
+    const std::uint64_t per_worker_budget =
+        spill_enabled
+            ? std::max<std::uint64_t>(
+                  config_.spill_memory_bytes / num_workers, sizeof(Tagged))
+            : std::numeric_limits<std::uint64_t>::max();
+
+    // Folds equal-key neighbors of a (key, pos)-sorted run; the minimum
+    // position survives as the fold's representative.
+    const auto combine_sorted_run = [&](std::vector<Tagged>& run,
+                                        std::uint64_t& pairs_in,
+                                        std::uint64_t& pairs_out) {
+      if constexpr (kHasCombiner) {
+        pairs_in += run.size();
+        std::size_t out = 0;
         std::size_t i = 0;
-        std::vector<V> group;
-        while (i < part.size()) {
-          std::size_t j = i;
-          group.clear();
-          while (j < part.size() &&
-                 !(part[i].key < part[j].key) && !(part[j].key < part[i].key)) {
-            group.push_back(std::move(part[j].value));
+        while (i < run.size()) {
+          Tagged acc = std::move(run[i]);
+          std::size_t j = i + 1;
+          while (j < run.size() && !(acc.key < run[j].key) &&
+                 !(run[j].key < acc.key)) {
+            acc.value = combine(acc.value, run[j].value);
             ++j;
           }
-          local_max = std::max(local_max, group.size());
-          reduce(part[i].key, std::span<V>(group), emitter);
+          run[out++] = std::move(acc);
           i = j;
         }
+        run.resize(out);
+        pairs_out += run.size();
+      } else {
+        (void)run;
+        (void)pairs_in;
+        (void)pairs_out;
+      }
+    };
+
+    // --- Map phase: parallel partition + (combine) + spill. ---
+    struct Shard {
+      std::vector<std::vector<Tagged>> buckets;
+      std::uint64_t buffered_bytes = 0;
+      std::uint64_t peak_bytes = 0;
+      std::uint64_t combiner_in = 0;
+      std::uint64_t combiner_out = 0;
+      std::uint64_t spilled_runs = 0;
+    };
+    std::vector<Shard> shards(num_workers);
+
+    std::unique_ptr<SpillSession> spill;
+    std::mutex spill_mu;
+    const auto spill_session = [&]() -> SpillSession& {
+      std::lock_guard<std::mutex> lock(spill_mu);
+      if (spill == nullptr) {
+        spill = std::make_unique<SpillSession>(
+            config_.spill_dir, num_partitions, sizeof(Tagged));
+      }
+      return *spill;
+    };
+
+    // Chunked scan: chunk boundaries depend only on the input size, and
+    // the position tag makes the scatter order irrelevant, so dynamic
+    // chunk assignment cannot leak into the output.
+    constexpr std::size_t kChunkPairs = 2048;
+    const std::size_t num_chunks =
+        (input.size() + kChunkPairs - 1) / kChunkPairs;
+    std::atomic<std::size_t> chunk_cursor{0};
+    workers.run_on_workers([&](std::size_t w) {
+      Shard& shard = shards[w];
+      shard.buckets.resize(num_partitions);
+      const auto flush_to_disk = [&] {
+        if constexpr (kSpillable) {
+          for (std::size_t p = 0; p < num_partitions; ++p) {
+            auto& bucket = shard.buckets[p];
+            if (bucket.empty()) continue;
+            std::sort(bucket.begin(), bucket.end(), tagged_less);
+            if (use_combiner) {
+              combine_sorted_run(bucket, shard.combiner_in,
+                                 shard.combiner_out);
+            }
+            spill_session().append_run(p, bucket.data(), bucket.size());
+            ++shard.spilled_runs;
+            std::vector<Tagged>().swap(bucket);  // actually release memory
+          }
+          shard.buffered_bytes = 0;
+        }
+      };
+      for (;;) {
+        const std::size_t c =
+            chunk_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        const std::size_t begin = c * kChunkPairs;
+        const std::size_t end =
+            std::min(input.size(), begin + kChunkPairs);
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& [k, v] = input[i];
+          const std::size_t p = partition_of(k, num_partitions);
+          if (spill_enabled &&
+              shard.buffered_bytes + sizeof(Tagged) > per_worker_budget) {
+            flush_to_disk();
+          }
+          shard.buckets[p].push_back(
+              Tagged{std::move(k), std::move(v), static_cast<std::uint64_t>(i)});
+          shard.buffered_bytes += sizeof(Tagged);
+          shard.peak_bytes =
+              std::max(shard.peak_bytes, shard.buffered_bytes);
+        }
+      }
+    });
+    input.clear();
+    input.shrink_to_fit();
+    if (spill != nullptr) spill->seal();
+
+    // --- Reduce phase: per-partition sort-merge of all runs. ---
+    std::vector<std::vector<std::pair<OutK, OutV>>> outputs(num_partitions);
+    std::atomic<std::size_t> max_group{0};
+    std::atomic<std::uint64_t> runs_merged{0};
+    std::atomic<std::uint64_t> merge_buffer_peak{0};
+    std::atomic<std::size_t> part_cursor{0};
+    workers.run_on_workers([&](std::size_t) {
+      std::uint64_t combiner_in = 0;
+      std::uint64_t combiner_out = 0;
+      std::uint64_t my_merge_peak = 0;
+      std::vector<V> group;
+      for (;;) {
+        const std::size_t p =
+            part_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (p >= num_partitions) break;
+
+        // In-memory leftovers become sorted (combined) runs, worker order.
+        std::vector<std::vector<Tagged>> mem_runs;
+        for (std::size_t w = 0; w < num_workers; ++w) {
+          auto& bucket = shards[w].buckets[p];
+          if (bucket.empty()) continue;
+          std::sort(bucket.begin(), bucket.end(), tagged_less);
+          if (use_combiner) {
+            combine_sorted_run(bucket, combiner_in, combiner_out);
+          }
+          mem_runs.push_back(std::move(bucket));
+        }
+
+        Emitter<OutK, OutV> emitter(outputs[p]);
+        std::size_t local_max = 0;
+
+        // Spilled runs stream through bounded cursors; the whole merge
+        // holds one refill buffer per run, never a whole partition.
+        std::vector<RunCursor> disk_runs;
+        if constexpr (kSpillable) {
+          if (spill != nullptr && spill->num_runs(p) > 0) {
+            const std::size_t total_disk = spill->num_runs(p);
+            const std::size_t buffer_records = std::clamp<std::size_t>(
+                per_worker_budget / (sizeof(Tagged) * total_disk), 1, 4096);
+            my_merge_peak = std::max<std::uint64_t>(
+                my_merge_peak, static_cast<std::uint64_t>(buffer_records) *
+                                   sizeof(Tagged) * total_disk);
+            disk_runs = spill->open_partition(p, buffer_records);
+          }
+        }
+        const std::size_t total_runs = mem_runs.size() + disk_runs.size();
+        if (total_runs == 0) continue;
+        runs_merged.fetch_add(total_runs, std::memory_order_relaxed);
+
+        if (disk_runs.empty() && mem_runs.size() == 1) {
+          // Fast path: one in-memory run reduces by linear group scan
+          // (also the only path for non-trivially-copyable keys/values).
+          auto& run = mem_runs.front();
+          std::size_t i = 0;
+          while (i < run.size()) {
+            std::size_t j = i;
+            group.clear();
+            while (j < run.size() && !(run[i].key < run[j].key) &&
+                   !(run[j].key < run[i].key)) {
+              group.push_back(std::move(run[j].value));
+              ++j;
+            }
+            local_max = std::max(local_max, group.size());
+            reduce(run[i].key, std::span<V>(group), emitter);
+            i = j;
+          }
+        } else {
+          merge_runs<Tagged, K, V>(mem_runs, disk_runs, tagged_less, group,
+                                   local_max,
+                                   [&](const K& key, std::span<V> values) {
+                                     reduce(key, values, emitter);
+                                   });
+        }
+
         std::size_t seen = max_group.load(std::memory_order_relaxed);
         while (local_max > seen &&
                !max_group.compare_exchange_weak(seen, local_max,
                                                 std::memory_order_relaxed)) {
         }
-        part.clear();
-        part.shrink_to_fit();
       }
+      shards_accumulate(combiner_in, combiner_out);
+      merge_buffer_peak.fetch_add(my_merge_peak, std::memory_order_relaxed);
     });
 
     account_groups(max_group.load());
+    account_shuffle(shards, spill.get(), runs_merged.load(),
+                    merge_buffer_peak.load(), sizeof(Tagged), spill_enabled,
+                    num_workers);
 
     // --- Concatenate outputs in partition order (deterministic). ---
     std::size_t total = 0;
@@ -160,6 +375,83 @@ class Engine {
     }
   }
 
+  /// K-way stable merge of sorted runs by (key, pos), streaming each
+  /// same-key group through `consume(key, values)`.
+  template <typename Tagged, typename K, typename V, typename Less,
+            typename Consume>
+  static void merge_runs(std::vector<std::vector<Tagged>>& mem_runs,
+                         std::vector<RunCursor>& disk_runs, Less less,
+                         std::vector<V>& group, std::size_t& local_max,
+                         Consume consume) {
+    struct Source {
+      const Tagged* cur;
+      const Tagged* end;       // memory runs; nullptr for disk
+      RunCursor* cursor;       // disk runs; nullptr for memory
+      void advance() {
+        if (cursor != nullptr) {
+          cur = static_cast<const Tagged*>(cursor->next());
+        } else {
+          ++cur;
+          if (cur == end) cur = nullptr;
+        }
+      }
+    };
+    std::vector<Source> sources;
+    sources.reserve(mem_runs.size() + disk_runs.size());
+    for (auto& run : mem_runs) {
+      sources.push_back(Source{run.data(), run.data() + run.size(), nullptr});
+    }
+    for (auto& cursor : disk_runs) {
+      const auto* first = static_cast<const Tagged*>(cursor.next());
+      if (first != nullptr) sources.push_back(Source{first, nullptr, &cursor});
+    }
+
+    // Min-heap of run heads ordered by (key, pos).  Positions are unique
+    // (each input pair lands in exactly one run; a combiner keeps the
+    // minimum position of its fold), so heads never tie.
+    const auto heap_greater = [&](const Source* a, const Source* b) {
+      return less(*b->cur, *a->cur);
+    };
+    std::vector<Source*> heap;
+    heap.reserve(sources.size());
+    for (auto& s : sources) {
+      if (s.cur != nullptr) heap.push_back(&s);
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+    group.clear();
+    bool have_key = false;
+    // The group key is copied out of the record (cursor refills may reuse
+    // the buffer the record pointer aims into).
+    K current_key{};
+    const auto finish_group = [&] {
+      if (!have_key) return;
+      local_max = std::max(local_max, group.size());
+      consume(current_key, std::span<V>(group));
+      group.clear();
+    };
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      Source* s = heap.back();
+      heap.pop_back();
+      const Tagged& rec = *s->cur;
+      // The merged stream is key-nondecreasing, so a strictly greater key
+      // closes the current group.
+      if (!have_key || current_key < rec.key) {
+        finish_group();
+        current_key = rec.key;
+        have_key = true;
+      }
+      group.push_back(rec.value);
+      s->advance();
+      if (s->cur != nullptr) {
+        heap.push_back(s);
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
+      }
+    }
+    finish_group();
+  }
+
   void account_round(std::size_t pairs, std::size_t pair_bytes) {
     ++metrics_.rounds;
     metrics_.pairs_shuffled += pairs;
@@ -184,9 +476,58 @@ class Engine {
     }
   }
 
+  template <typename Shards>
+  void account_shuffle(const Shards& shards, const SpillSession* spill,
+                       std::uint64_t runs_merged,
+                       std::uint64_t merge_buffer_peak,
+                       std::size_t record_size, bool spill_enabled,
+                       std::size_t num_workers) {
+    std::uint64_t round_peak = 0;
+    for (const auto& shard : shards) {
+      round_peak += shard.peak_bytes;
+      metrics_.combiner_pairs_in += shard.combiner_in;
+      metrics_.combiner_pairs_out += shard.combiner_out;
+      metrics_.spill_runs += shard.spilled_runs;
+    }
+    {
+      std::lock_guard<std::mutex> lock(reduce_combiner_mu_);
+      metrics_.combiner_pairs_in += reduce_combiner_in_;
+      metrics_.combiner_pairs_out += reduce_combiner_out_;
+      reduce_combiner_in_ = 0;
+      reduce_combiner_out_ = 0;
+    }
+    metrics_.peak_shuffle_buffer_bytes =
+        std::max(metrics_.peak_shuffle_buffer_bytes, round_peak);
+    metrics_.peak_merge_buffer_bytes =
+        std::max(metrics_.peak_merge_buffer_bytes, merge_buffer_peak);
+    metrics_.runs_merged += runs_merged;
+    if (spill != nullptr) metrics_.bytes_spilled += spill->bytes_written();
+    if (spill_enabled && config_.spill_strict) {
+      const std::uint64_t allowed = std::max<std::uint64_t>(
+          config_.spill_memory_bytes,
+          static_cast<std::uint64_t>(num_workers) * record_size);
+      GCLUS_CHECK(round_peak <= allowed,
+                  "MR spill budget exceeded: buffered ", round_peak,
+                  " bytes > ", allowed, " allowed");
+    }
+  }
+
+  /// Reduce-phase workers fold their combiner counters through here (the
+  /// map-phase ones live in the shards and need no lock).
+  void shards_accumulate(std::uint64_t combiner_in,
+                         std::uint64_t combiner_out) {
+    if (combiner_in == 0 && combiner_out == 0) return;
+    std::lock_guard<std::mutex> lock(reduce_combiner_mu_);
+    reduce_combiner_in_ += combiner_in;
+    reduce_combiner_out_ += combiner_out;
+  }
+
   Config config_;
   Metrics metrics_;
-  ThreadPool* pool_;  // owned iff non-null; else the global pool is used
+  ThreadPool* pool_;  // owned iff non-null; else external/global pool
+  std::mutex reduce_combiner_mu_;
+  std::uint64_t reduce_combiner_in_ = 0;
+  std::uint64_t reduce_combiner_out_ = 0;
 };
 
 }  // namespace gclus::mr

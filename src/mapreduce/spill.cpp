@@ -1,0 +1,167 @@
+#include "mapreduce/spill.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+
+#include "common/check.hpp"
+
+namespace gclus::mr {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// RunCursor
+// ---------------------------------------------------------------------------
+
+RunCursor::RunCursor(std::FILE* file, std::uint64_t offset,
+                     std::uint64_t count, std::size_t record_size,
+                     std::size_t buffer_records)
+    : file_(file),
+      next_offset_(offset),
+      remaining_(count),
+      record_size_(record_size) {
+  buffer_.resize(std::max<std::size_t>(1, buffer_records) * record_size_);
+}
+
+const void* RunCursor::next() {
+  if (consumed_ == buffered_) {
+    if (remaining_ == 0) return nullptr;
+    refill();
+  }
+  const void* rec = buffer_.data() + consumed_ * record_size_;
+  ++consumed_;
+  return rec;
+}
+
+void RunCursor::refill() {
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining_, buffer_.size() / record_size_));
+  // Cursors of one partition share the FILE*, so every refill seeks to its
+  // own absolute offset before reading.
+  GCLUS_CHECK(std::fseek(file_, static_cast<long>(next_offset_), SEEK_SET) ==
+                  0,
+              "spill run seek failed at offset ", next_offset_);
+  const std::size_t got = std::fread(buffer_.data(), record_size_, want,
+                                     file_);
+  GCLUS_CHECK(got == want, "spill run truncated: wanted ", want,
+              " records at offset ", next_offset_, ", got ", got);
+  next_offset_ += static_cast<std::uint64_t>(want) * record_size_;
+  remaining_ -= want;
+  buffered_ = want;
+  consumed_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// SpillSession
+// ---------------------------------------------------------------------------
+
+SpillSession::SpillSession(std::string dir_hint, std::size_t num_partitions,
+                           std::size_t record_size)
+    : dir_hint_(std::move(dir_hint)), record_size_(record_size) {
+  GCLUS_CHECK(record_size_ > 0);
+  parts_.reserve(num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+}
+
+SpillSession::~SpillSession() {
+  for (auto& part : parts_) {
+    if (part->file != nullptr) std::fclose(part->file);
+  }
+  if (!dir_.empty()) {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);  // best effort; the dir is uniquely ours
+  }
+}
+
+void SpillSession::ensure_dir() {
+  std::call_once(dir_once_, [&] {
+    static std::atomic<std::uint64_t> counter{0};
+    fs::path base = dir_hint_.empty() ? fs::temp_directory_path()
+                                      : fs::path(dir_hint_);
+    fs::path dir = base / ("gclus-spill-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    GCLUS_CHECK(!ec, "spill directory not writable: cannot create ",
+                dir.string(), " (", ec.message(), ")");
+    dir_ = dir.string();
+  });
+}
+
+void SpillSession::append_run(std::size_t p, const void* data,
+                              std::uint64_t count) {
+  GCLUS_CHECK(p < parts_.size());
+  GCLUS_CHECK(count > 0, "empty spill runs are never written");
+  ensure_dir();
+  Partition& part = *parts_[p];
+  std::lock_guard<std::mutex> lock(part.mu);
+  if (part.file == nullptr) {
+    const std::string path =
+        (fs::path(dir_) / ("part-" + std::to_string(p) + ".run")).string();
+    part.file = std::fopen(path.c_str(), "wb+");
+    GCLUS_CHECK(part.file != nullptr,
+                "spill directory not writable: cannot open ", path);
+  }
+  const std::uint64_t payload_bytes = count * record_size_;
+  GCLUS_CHECK(std::fwrite(&count, sizeof(count), 1, part.file) == 1,
+              "spill write failed (run header)");
+  GCLUS_CHECK(std::fwrite(data, 1, payload_bytes, part.file) == payload_bytes,
+              "spill write failed (", payload_bytes, " payload bytes)");
+  part.runs.push_back(Run{part.write_offset + sizeof(count), count});
+  part.write_offset += sizeof(count) + payload_bytes;
+  bytes_written_.fetch_add(payload_bytes, std::memory_order_relaxed);
+}
+
+void SpillSession::seal() {
+  for (auto& part : parts_) {
+    if (part->file != nullptr) {
+      GCLUS_CHECK(std::fflush(part->file) == 0, "spill flush failed");
+    }
+  }
+}
+
+std::size_t SpillSession::num_runs(std::size_t p) const {
+  GCLUS_CHECK(p < parts_.size());
+  return parts_[p]->runs.size();
+}
+
+std::uint64_t SpillSession::total_runs() const {
+  std::uint64_t total = 0;
+  for (const auto& part : parts_) total += part->runs.size();
+  return total;
+}
+
+std::uint64_t SpillSession::bytes_written() const {
+  return bytes_written_.load(std::memory_order_relaxed);
+}
+
+std::vector<RunCursor> SpillSession::open_partition(
+    std::size_t p, std::size_t buffer_records) {
+  GCLUS_CHECK(p < parts_.size());
+  Partition& part = *parts_[p];
+  std::vector<RunCursor> cursors;
+  cursors.reserve(part.runs.size());
+  if (part.runs.empty()) return cursors;
+  // A run recorded in memory must be readable in full: verify the file
+  // still holds every byte the writer appended, so truncation surfaces
+  // here (with a clear message) even before a cursor's short read would.
+  GCLUS_CHECK(std::fseek(part.file, 0, SEEK_END) == 0, "spill seek failed");
+  const long size = std::ftell(part.file);
+  GCLUS_CHECK(size >= 0 &&
+                  static_cast<std::uint64_t>(size) >= part.write_offset,
+              "spill run truncated: partition ", p, " file has ", size,
+              " bytes, expected ", part.write_offset);
+  for (const Run& run : part.runs) {
+    cursors.emplace_back(part.file, run.offset, run.count, record_size_,
+                         buffer_records);
+  }
+  return cursors;
+}
+
+}  // namespace gclus::mr

@@ -1,0 +1,115 @@
+// Out-of-core run storage for the MR engine's external shuffle.
+//
+// When a round's shuffle buffers exceed Config::spill_memory_bytes, the
+// map phase writes each partition's buffered (and optionally combined)
+// records to disk as a *sorted run*, and the reduce phase sort-merges all
+// runs of a partition back into one key-ordered stream.  This layer owns
+// the on-disk representation; it is deliberately untyped (raw fixed-size
+// records) so the templated engine can spill any trivially-copyable
+// key/value pair without per-type I/O code.
+//
+// File layout: one file per partition, a sequence of runs, each run a
+// header (record count) followed by `count * record_size` payload bytes.
+// Run boundaries are also tracked in memory at write time, so reading
+// never trusts the file for structure — a truncated or corrupted file is
+// detected as a short read and aborts via GCLUS_CHECK rather than
+// producing a silently wrong answer.
+//
+// Thread safety: append_run() may be called concurrently for *different*
+// partitions (per-partition locking); open_partition() is for the reduce
+// phase, after seal(), one caller per partition at a time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gclus::mr {
+
+/// Streams one spilled run's records through a bounded refill buffer, so
+/// merging R runs needs only R read buffers in memory, never whole runs.
+class RunCursor {
+ public:
+  RunCursor(std::FILE* file, std::uint64_t offset, std::uint64_t count,
+            std::size_t record_size, std::size_t buffer_records);
+
+  RunCursor(RunCursor&&) = default;
+  RunCursor& operator=(RunCursor&&) = default;
+
+  /// Pointer to the next record, or nullptr at end of run.  The pointer is
+  /// valid until the next call (a refill may reuse the buffer).
+  [[nodiscard]] const void* next();
+
+ private:
+  void refill();
+
+  std::FILE* file_;            // shared with sibling cursors; not owned
+  std::uint64_t next_offset_;  // absolute file offset of the next refill
+  std::uint64_t remaining_;    // records not yet returned
+  std::size_t record_size_;
+  std::vector<unsigned char> buffer_;
+  std::size_t buffered_ = 0;  // records currently in buffer_
+  std::size_t consumed_ = 0;  // records of buffer_ already returned
+};
+
+/// All spill files of one engine round.  Creating the session is cheap;
+/// the directory and files appear lazily on first append.  The destructor
+/// removes everything — spill files never outlive their round.
+class SpillSession {
+ public:
+  /// `dir_hint` empty means the system temp directory; the session creates
+  /// a unique subdirectory under it.  Aborts if the directory cannot be
+  /// created or written ("spill directory not writable" class of errors).
+  SpillSession(std::string dir_hint, std::size_t num_partitions,
+               std::size_t record_size);
+  ~SpillSession();
+
+  SpillSession(const SpillSession&) = delete;
+  SpillSession& operator=(const SpillSession&) = delete;
+
+  /// Appends one sorted run of `count` records to partition `p`.
+  /// Thread-safe across partitions and callers.
+  void append_run(std::size_t p, const void* data, std::uint64_t count);
+
+  /// Flushes all files; call once, between the map and reduce phases.
+  void seal();
+
+  [[nodiscard]] std::size_t num_partitions() const { return parts_.size(); }
+  [[nodiscard]] std::size_t num_runs(std::size_t p) const;
+  [[nodiscard]] std::uint64_t total_runs() const;
+  [[nodiscard]] std::uint64_t bytes_written() const;
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+
+  /// Opens every run of partition `p` for merging.  `buffer_records` is
+  /// the refill-buffer size per cursor (clamped to >= 1 internally).
+  [[nodiscard]] std::vector<RunCursor> open_partition(
+      std::size_t p, std::size_t buffer_records);
+
+ private:
+  struct Run {
+    std::uint64_t offset;  // payload offset (past the header)
+    std::uint64_t count;
+  };
+  struct Partition {
+    std::mutex mu;
+    std::FILE* file = nullptr;
+    std::uint64_t write_offset = 0;
+    std::vector<Run> runs;
+  };
+
+  void ensure_dir();
+
+  std::string dir_hint_;
+  std::string dir_;  // empty until first append
+  std::once_flag dir_once_;
+  std::size_t record_size_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace gclus::mr

@@ -58,13 +58,19 @@ inline std::size_t rounds_per_superstep(std::size_t local_memory_pairs,
 /// round charging (typically m, the graph's edge count); by default the
 /// actual in-flight message count is used.
 ///
+/// `combine`, when not NoCombiner, is the mapper-side message combiner
+/// handed to every underlying engine round (engine.hpp documents the
+/// algebraic contract: associative + commutative, and `compute` must be
+/// invariant to pre-aggregated inboxes).
+///
 /// Returns the number of supersteps executed.
-template <typename Msg, typename Compute>
+template <typename Msg, typename Compute, typename Combine = NoCombiner>
 std::size_t run_supersteps(Engine& engine,
                            std::vector<std::pair<NodeId, Msg>> initial,
                            Compute compute,
                            std::size_t max_supersteps = SIZE_MAX,
-                           std::uint64_t charge_items = 0) {
+                           std::uint64_t charge_items = 0,
+                           Combine combine = {}) {
   std::size_t superstep = 0;
   auto inflight = std::move(initial);
   while (!inflight.empty() && superstep < max_supersteps) {
@@ -77,13 +83,14 @@ std::size_t run_supersteps(Engine& engine,
     engine.mutable_metrics().simulated_latency_s +=
         static_cast<double>(cost - 1) * engine.config().per_round_latency_s;
 
-    inflight = engine.round<NodeId, Msg, NodeId, Msg>(
+    inflight = engine.round_combine<NodeId, Msg, NodeId, Msg>(
         std::move(inflight),
         [&](const NodeId& vertex, std::span<Msg> inbox,
             Emitter<NodeId, Msg>& emitter) {
           Outbox<Msg> outbox(emitter);
           compute(superstep, vertex, inbox, outbox);
-        });
+        },
+        combine);
     ++superstep;
   }
   return superstep;

@@ -19,6 +19,9 @@ MrBfsResult mr_bfs(mr::Engine& engine, const Graph& g, NodeId source) {
   std::vector<std::pair<NodeId, Msg>> init;
   for (const NodeId w : g.neighbors(source)) init.emplace_back(w, Msg{0});
 
+  // Combiner: arrivals carry no payload, so same-destination duplicates
+  // collapse to one (frontier dedup — the reducer only cares *that* a
+  // message arrived).
   result.supersteps = mr::run_supersteps<Msg>(
       engine, std::move(init),
       [&](std::size_t superstep, NodeId v, std::span<Msg>,
@@ -28,7 +31,8 @@ MrBfsResult mr_bfs(mr::Engine& engine, const Graph& g, NodeId source) {
         for (const NodeId w : g.neighbors(v)) out.send(w, Msg{0});
       },
       /*max_supersteps=*/SIZE_MAX,
-      /*charge_items=*/g.num_half_edges());
+      /*charge_items=*/g.num_half_edges(),
+      /*combine=*/[](const Msg& a, const Msg&) { return a; });
 
   for (const Dist d : result.dist) {
     if (d != kInfDist) result.eccentricity = std::max(result.eccentricity, d);

@@ -124,8 +124,10 @@ MrClusterResult mr_cluster(mr::Engine& engine, const Graph& g,
           claims.emplace_back(w, st.claim[u]);
         }
       }
+      // Combiner: claim ties break to the minimum cluster id, a fold the
+      // reducer's min_element is invariant to.
       std::vector<std::pair<NodeId, ClusterId>> newly =
-          engine.round<NodeId, ClusterId, NodeId, ClusterId>(
+          engine.round_combine<NodeId, ClusterId, NodeId, ClusterId>(
               std::move(claims),
               [&](const NodeId& w, std::span<ClusterId> bids,
                   mr::Emitter<NodeId, ClusterId>& emit) {
@@ -137,6 +139,9 @@ MrClusterResult mr_cluster(mr::Engine& engine, const Graph& g,
                 st.dist[w] =
                     static_cast<Dist>(step_index - st.activation[win]);
                 emit.emit(w, win);
+              },
+              [](const ClusterId& a, const ClusterId& b) {
+                return std::min(a, b);
               });
 
       frontier.clear();
@@ -188,13 +193,16 @@ MrDiameterResult mr_cluster_diameter(mr::Engine& engine, const Graph& g,
                    c.dist_to_center[v]);
     }
   }
+  // Combiner: the quotient keeps the shortest connection per cluster pair,
+  // so mapper-side min-folding is exact.
   const std::vector<std::pair<std::uint64_t, Weight>> reduced =
-      engine.round<std::uint64_t, Weight, std::uint64_t, Weight>(
+      engine.round_combine<std::uint64_t, Weight, std::uint64_t, Weight>(
           std::move(crossing),
           [&](const std::uint64_t& key, std::span<Weight> ws,
               mr::Emitter<std::uint64_t, Weight>& emit) {
             emit.emit(key, *std::min_element(ws.begin(), ws.end()));
-          });
+          },
+          [](const Weight& a, const Weight& b) { return std::min(a, b); });
 
   std::vector<std::tuple<NodeId, NodeId, Weight>> qedges;
   qedges.reserve(reduced.size());

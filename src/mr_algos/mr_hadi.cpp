@@ -75,7 +75,10 @@ HadiResult mr_hadi(mr::Engine& engine, const Graph& g,
     for (NodeId u = 0; u < n; ++u) {
       for (const NodeId w : g.neighbors(u)) msgs.emplace_back(w, sketch[u]);
     }
-    engine.round<NodeId, HadiSketch, NodeId, std::uint8_t>(
+    // Combiner: register-wise OR is the reducer's own fold — sketches for
+    // the same destination merge before they are shuffled (the classic
+    // HADI optimization; cuts the Θ(m·K) per-round volume).
+    engine.round_combine<NodeId, HadiSketch, NodeId, std::uint8_t>(
         std::move(msgs),
         [&](const NodeId& v, std::span<HadiSketch> inbox,
             mr::Emitter<NodeId, std::uint8_t>&) {
@@ -84,6 +87,13 @@ HadiResult mr_hadi(mr::Engine& engine, const Graph& g,
             for (std::size_t r = 0; r < kHadiRegisters; ++r) acc[r] |= in[r];
           }
           sketch[v] = acc;
+        },
+        [](const HadiSketch& a, const HadiSketch& b) {
+          HadiSketch out;
+          for (std::size_t r = 0; r < kHadiRegisters; ++r) {
+            out[r] = a[r] | b[r];
+          }
+          return out;
         });
 
     const double nt = global_estimate();

@@ -102,8 +102,10 @@ MrMpxResult mr_mpx(mr::Engine& engine, const Graph& g, double beta,
           (static_cast<std::uint64_t>(cluster_priority[cu]) << 32) | cu;
       for (const NodeId w : g.neighbors(u)) claims.emplace_back(w, key);
     }
+    // Combiner: the packed (priority << 32 | id) key makes "smallest bid
+    // wins" a plain min-fold, exactly what the reducer computes.
     std::vector<std::pair<NodeId, std::uint64_t>> newly =
-        engine.round<NodeId, std::uint64_t, NodeId, std::uint64_t>(
+        engine.round_combine<NodeId, std::uint64_t, NodeId, std::uint64_t>(
             std::move(claims),
             [&](const NodeId& w, std::span<std::uint64_t> bids,
                 mr::Emitter<NodeId, std::uint64_t>& emit) {
@@ -115,6 +117,9 @@ MrMpxResult mr_mpx(mr::Engine& engine, const Graph& g, double beta,
               claim[w] = cid;
               dist[w] = static_cast<Dist>(step_index - activation[cid]);
               emit.emit(w, win);
+            },
+            [](const std::uint64_t& a, const std::uint64_t& b) {
+              return std::min(a, b);
             });
     frontier.clear();
     for (const auto& [w, key] : newly) frontier.push_back(w);

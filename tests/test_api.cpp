@@ -29,16 +29,23 @@ namespace gclus {
 namespace {
 
 /// Parameters that make every registered algorithm cheap and well-defined
-/// on the small corpus (k small enough for every graph; τ small).
+/// on the small corpus (k small enough for every graph; τ small).  The
+/// mr.* entries additionally run with a tiny spill budget, so the corpus
+/// sweep exercises the out-of-core shuffle path end to end.
 AlgoParams corpus_params(const std::string& algo) {
   AlgoParams p;
-  if (algo == "mpx") {
+  if (algo == "mpx" || algo == "mr.mpx") {
     p.set("beta", 0.4);
   } else if (algo == "random_centers" || algo == "gonzalez" ||
              algo == "kcenter") {
     p.set("k", std::uint64_t{4});
+  } else if (algo == "mr.bfs") {
+    p.set("source", std::uint64_t{0});
   } else {
     p.set("tau", std::uint64_t{2});
+  }
+  if (algo.rfind("mr.", 0) == 0) {
+    p.set("spill_bytes", std::uint64_t{4096});
   }
   return p;
 }
@@ -47,7 +54,7 @@ TEST(Registry, ListsEveryBuiltinAlgorithm) {
   const std::vector<std::string> names = registry().names();
   for (const char* expected :
        {"cluster", "cluster2", "weighted_cluster", "mpx", "random_centers",
-        "gonzalez", "kcenter"}) {
+        "gonzalez", "kcenter", "mr.cluster", "mr.mpx", "mr.bfs"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
