@@ -109,7 +109,7 @@ int main() {
 #if defined(__GLIBC__)
   mallopt(M_MMAP_THRESHOLD, 128 * 1024);  // see header comment
 #endif
-  const Graph g = gen::expander(kNodes, kDegree, kSeed);
+  const Graph g = cached_expander(kNodes, kDegree, kSeed);
   ThreadPool& pool = ThreadPool::global();
   std::printf("expander: n=%u m=%llu threads=%zu reps=%d\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()),

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/check.hpp"
+#include "graph/generators.hpp"
 
 namespace gclus::bench {
 
@@ -188,6 +189,14 @@ std::vector<const BenchDataset*> all_bench_datasets() {
     out.push_back(&load_bench_dataset(name));
   }
   return out;
+}
+
+Graph cached_expander(NodeId n, unsigned degree, std::uint64_t seed) {
+  const std::string key = "expander-n" + std::to_string(n) + "-d" +
+                          std::to_string(degree) + "-s" +
+                          std::to_string(seed);
+  return workloads::cached_graph(
+      key, [&] { return gen::expander(n, degree, seed); });
 }
 
 double round_latency_s() {

@@ -39,6 +39,11 @@ struct BenchDataset {
 /// Loads `name` and computes its exact diameter (cached per process).
 const BenchDataset& load_bench_dataset(const std::string& name);
 
+/// The benches' synthetic expander, served through the dataset cache
+/// (workloads::cached_graph) so CI runs with GCLUS_DATASET_CACHE_DIR set
+/// skip the ~seconds of regeneration per bench binary.
+Graph cached_expander(NodeId n, unsigned degree, std::uint64_t seed);
+
 /// All registry datasets with diameters, canonical order.
 std::vector<const BenchDataset*> all_bench_datasets();
 

@@ -182,7 +182,7 @@ void print_table(const std::string& title,
 }  // namespace
 
 int main() {
-  const Graph g = gen::expander(kNodes, kDegree, kSeed);
+  const Graph g = cached_expander(kNodes, kDegree, kSeed);
   ThreadPool& pool = ThreadPool::global();
   std::printf("expander: n=%u m=%llu threads=%zu\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()),

@@ -101,7 +101,7 @@ bool same_partition(const MrRun& a, const MrRun& b) {
 }  // namespace
 
 int main() {
-  const Graph g = gen::expander(kNodes, kDegree, kGraphSeed);
+  const Graph g = cached_expander(kNodes, kDegree, kGraphSeed);
   // "Input size" = the graph as the shuffle sees it: one claim pair per
   // directed edge.
   const std::uint64_t input_bytes =

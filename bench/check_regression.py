@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare BENCH_*.json results against committed
+baselines in bench/baselines/ and fail on regression.
+
+Each baseline file names the result file it gates and a set of metrics:
+
+    {
+      "file": "BENCH_io.json",
+      "metrics": {
+        "parallel_speedup_8t": {"value": 5.2, "direction": "higher"},
+        "cluster_spilled.bytes_spilled": {"value": 123, "direction": "near",
+                                           "tolerance": 0.10},
+        "registry_mmap_identical": {"direction": "true"}
+      }
+    }
+
+Metric paths are dotted lookups into the result JSON.  Directions:
+
+    higher  regression when measured < value * (1 - tolerance)
+    lower   regression when measured > value * (1 + tolerance)
+    near    regression when outside value * (1 -/+ tolerance)
+    true    boolean metric that must be true (value ignored)
+
+The default tolerance is +-25% (0.25).  Machine-dependent wall-clock
+metrics carry a wide explicit tolerance and exist for visibility; the
+hard gating rides on machine-portable ratios (speedups, reductions) and
+deterministic counts, which a real perf regression shifts on any host.
+
+    --update           rewrite baseline values from the measured results
+    --inject-slowdown F  self-test: simulate a uniform Fx slowdown
+                       (wall metrics *= F, speedup/reduction ratios /= F)
+                       before checking.  CI runs this with F=2 and asserts
+                       the checker goes red — proving the gate can fire.
+
+Exit status: 0 clean, 1 regression (or self-test failed to regress), 2
+missing/invalid inputs.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(doc, dotted):
+    cur = doc
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def is_ratio_metric(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return "speedup" in leaf or "reduction" in leaf
+
+
+def is_wall_metric(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf.endswith("_s") or "wall" in leaf
+
+
+def inject_slowdown(path, spec, measured, factor):
+    """Simulate a uniform `factor`x slowdown of the benched code: wall
+    times inflate by it, and every speedup/reduction ratio (benched phase
+    over an unchanged reference) deflates by it."""
+    if not isinstance(measured, (int, float)) or isinstance(measured, bool):
+        return measured
+    if is_wall_metric(path):
+        return measured * factor
+    if is_ratio_metric(path) and spec.get("direction") == "higher":
+        return measured / factor
+    return measured
+
+
+def check_metric(path, spec, measured):
+    """Returns (status, detail) where status is OK/REGRESSION/MISSING."""
+    direction = spec.get("direction", "near")
+    if measured is None:
+        return "MISSING", "metric absent from results"
+    if direction == "true":
+        return ("OK", "true") if measured is True else (
+            "REGRESSION", f"expected true, got {measured!r}")
+    value = spec["value"]
+    tol = spec.get("tolerance", DEFAULT_TOLERANCE)
+    lo, hi = value * (1 - tol), value * (1 + tol)
+    detail = f"baseline {value:g} tol +-{tol:.0%} measured {measured:g}"
+    if direction == "higher" and measured < lo:
+        return "REGRESSION", detail + f" < floor {lo:g}"
+    if direction == "lower" and measured > hi:
+        return "REGRESSION", detail + f" > ceiling {hi:g}"
+    if direction == "near" and not (lo <= measured <= hi):
+        return "REGRESSION", detail + f" outside [{lo:g}, {hi:g}]"
+    return "OK", detail
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", default=".",
+                    help="directory holding BENCH_*.json (default: .)")
+    ap.add_argument("--baselines", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "baselines"),
+                    help="directory of baseline specs (default: bench/baselines)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baseline values from measured results")
+    ap.add_argument("--inject-slowdown", type=float, default=None,
+                    metavar="F", help="self-test: simulate an Fx slowdown")
+    args = ap.parse_args()
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baselines) if f.endswith(".json"))
+    if not baseline_files:
+        print(f"no baselines found in {args.baselines}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    missing = 0
+    rows = []
+    for bf in baseline_files:
+        bf_path = os.path.join(args.baselines, bf)
+        with open(bf_path) as fh:
+            baseline = json.load(fh)
+        results_path = os.path.join(args.results, baseline["file"])
+        if not os.path.exists(results_path):
+            print(f"MISSING RESULTS: {results_path} (wanted by {bf})",
+                  file=sys.stderr)
+            missing += 1
+            continue
+        with open(results_path) as fh:
+            results = json.load(fh)
+
+        for path, spec in baseline["metrics"].items():
+            measured = lookup(results, path)
+            if args.update and measured is not None and \
+                    spec.get("direction") != "true":
+                spec["value"] = measured
+            if args.inject_slowdown is not None:
+                measured = inject_slowdown(path, spec, measured,
+                                           args.inject_slowdown)
+            status, detail = check_metric(path, spec, measured)
+            if status == "REGRESSION":
+                failures += 1
+            elif status == "MISSING":
+                missing += 1
+            rows.append((status, f"{baseline['file']}:{path}", detail))
+
+        if args.update:
+            with open(bf_path, "w") as fh:
+                json.dump(baseline, fh, indent=2)
+                fh.write("\n")
+
+    width = max(len(r[1]) for r in rows) if rows else 0
+    for status, name, detail in rows:
+        print(f"{status:<10} {name:<{width}}  {detail}")
+
+    if args.update:
+        print(f"\nupdated baselines in {args.baselines}")
+        return 0
+    if args.inject_slowdown is not None:
+        if failures:
+            print(f"\nself-test OK: injected {args.inject_slowdown}x slowdown "
+                  f"tripped {failures} metric(s)")
+            # Intentionally report failure so CI can assert `! check ...`.
+            return 1
+        print("\nself-test FAILED: injected slowdown tripped nothing",
+              file=sys.stderr)
+        return 0
+    if missing:
+        print(f"\n{missing} metric(s)/file(s) missing", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{failures} regression(s) beyond tolerance", file=sys.stderr)
+        return 1
+    print("\nall bench metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@
 //   --algo=NAME                algorithm to run (default: cluster)
 //   --seed=N --threads=N       RunContext knobs
 //   --growth.mode=push|pull|auto --growth.alpha=F --growth.beta=F
+//   --format=auto|edges|csr2   input format (auto sniffs the CSR v2 magic)
+//   --load=auto|mmap|copy      CSR v2 load mode (auto prefers mmap)
+//   --convert=OUT.csr2         convert the input to CSR v2 and exit —
+//                              preprocess a SNAP edge list once, then
+//                              mmap it on every subsequent run
 //   --KEY=VALUE                algorithm parameter, validated against the
 //                              registry schema (e.g. --tau=64, --beta=0.4)
 //
@@ -105,8 +110,11 @@ bool parse_growth_mode(const std::string& value, GrowthOptions& growth) {
 int main(int argc, char** argv) {
   std::string path;
   std::string algo = "cluster";
+  std::string format = "auto";
+  std::string convert_out;
   AlgoParams params;
   RunContext ctx;
+  io::CsrLoadOptions load_opts;
   std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -130,6 +138,27 @@ int main(int argc, char** argv) {
     // algorithm parameter the registry validates.
     if (key == "algo") {
       algo = value;
+    } else if (key == "format") {
+      if (value != "auto" && value != "edges" && value != "csr2") {
+        std::fprintf(stderr, "--format=%s (expected auto|edges|csr2)\n",
+                     value.c_str());
+        return 1;
+      }
+      format = value;
+    } else if (key == "load") {
+      if (value == "auto") {
+        load_opts.mode = io::CsrLoadMode::kAuto;
+      } else if (value == "mmap") {
+        load_opts.mode = io::CsrLoadMode::kMmap;
+      } else if (value == "copy") {
+        load_opts.mode = io::CsrLoadMode::kCopy;
+      } else {
+        std::fprintf(stderr, "--load=%s (expected auto|mmap|copy)\n",
+                     value.c_str());
+        return 1;
+      }
+    } else if (key == "convert") {
+      convert_out = value;
     } else if (key == "seed") {
       ctx.seed = parse_u64_or_die(key, value);
     } else if (key == "threads") {
@@ -163,9 +192,27 @@ int main(int argc, char** argv) {
     std::printf("no input given; wrote demo graph to %s\n", path.c_str());
   }
 
-  Graph g = io::read_edge_list_file(path);
-  std::printf("loaded %s: %u nodes, %llu edges\n", path.c_str(),
-              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
+  const bool input_is_csr =
+      format == "csr2" || (format == "auto" && io::is_csr_file(path));
+  Graph g = input_is_csr ? io::load_csr_file(path, load_opts)
+                         : io::read_edge_list_file(path);
+  std::printf("loaded %s (%s%s): %u nodes, %llu edges\n", path.c_str(),
+              input_is_csr ? "CSR v2" : "edge list",
+              g.owns_storage() ? "" : ", mmap-backed", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  if (!convert_out.empty()) {
+    io::write_csr_file(g, convert_out);
+    const auto info = io::probe_csr_file(convert_out);
+    std::printf("wrote CSR v2 %s: %llu bytes, n=%llu, m=%llu half-edges\n",
+                convert_out.c_str(),
+                static_cast<unsigned long long>(info ? info->file_bytes : 0),
+                static_cast<unsigned long long>(g.num_nodes()),
+                static_cast<unsigned long long>(g.num_half_edges()));
+    std::printf("reload it with: decompose_file %s --format=csr2\n",
+                convert_out.c_str());
+    return 0;
+  }
   const Components comps = connected_components(g);
   if (comps.count > 1) {
     std::printf("note: %u connected components; clustering all of them\n",

@@ -3,10 +3,61 @@
 #include <algorithm>
 
 #include "par/parallel_for.hpp"
+#include "par/thread_pool.hpp"
 
 namespace gclus {
 
-Graph GraphBuilder::build() {
+namespace {
+
+// Below this size the scheduling overhead of the block-merge sort exceeds
+// its win; std::sort alone is already microseconds.
+constexpr std::size_t kParallelSortThreshold = 1u << 17;
+
+/// Deterministic parallel sort: equal-size blocks are std::sort-ed
+/// concurrently, then merged pairwise level by level (std::inplace_merge),
+/// with all merges of a level running in parallel.  The result is exactly
+/// std::sort's (total order, here on std::pair), independent of the
+/// schedule — graph construction stays byte-reproducible at any thread
+/// count.
+void parallel_sort_edges(ThreadPool& pool, std::vector<Edge>& edges) {
+  const std::size_t n = edges.size();
+  if (n < kParallelSortThreshold || pool.num_threads() == 1) {
+    std::sort(edges.begin(), edges.end());
+    return;
+  }
+  const std::size_t num_blocks =
+      std::min<std::size_t>(4 * pool.num_threads(), 64);
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  parallel_for(
+      pool, 0, num_blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = std::min(b * block, n);
+        const std::size_t hi = std::min(lo + block, n);
+        std::sort(edges.begin() + lo, edges.begin() + hi);
+      },
+      /*grain=*/1);
+  for (std::size_t width = block; width < n; width *= 2) {
+    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    parallel_for(
+        pool, 0, pairs,
+        [&](std::size_t p) {
+          const std::size_t lo = p * 2 * width;
+          const std::size_t mid = std::min(lo + width, n);
+          const std::size_t hi = std::min(lo + 2 * width, n);
+          if (mid < hi) {
+            std::inplace_merge(edges.begin() + lo, edges.begin() + mid,
+                               edges.begin() + hi);
+          }
+        },
+        /*grain=*/1);
+  }
+}
+
+}  // namespace
+
+Graph GraphBuilder::build() { return build(ThreadPool::global()); }
+
+Graph GraphBuilder::build(ThreadPool& pool) {
   const NodeId n = num_nodes_;
 
   // Materialize both directions, dropping self-loops.
@@ -20,7 +71,7 @@ Graph GraphBuilder::build() {
   edges_.clear();
   edges_.shrink_to_fit();
 
-  std::sort(halves.begin(), halves.end());
+  parallel_sort_edges(pool, halves);
   halves.erase(std::unique(halves.begin(), halves.end()), halves.end());
 
   std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
@@ -28,7 +79,7 @@ Graph GraphBuilder::build() {
   for (NodeId u = 0; u < n; ++u) offsets[u + 1] += offsets[u];
 
   std::vector<NodeId> neighbors(halves.size());
-  parallel_for(0, halves.size(),
+  parallel_for(pool, 0, halves.size(),
                [&](std::size_t i) { neighbors[i] = halves[i].second; });
 
   return Graph(std::move(offsets), std::move(neighbors));

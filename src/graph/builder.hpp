@@ -13,6 +13,8 @@
 
 namespace gclus {
 
+class ThreadPool;
+
 /// An undirected edge as a pair of endpoints.
 using Edge = std::pair<NodeId, NodeId>;
 
@@ -33,10 +35,25 @@ class GraphBuilder {
     for (const auto& [u, v] : edges) add_edge(u, v);
   }
 
+  /// Bulk move-in for large edge lists (the parallel parser's path): the
+  /// endpoints are range-checked but the vector's buffer is adopted, not
+  /// copied.  Only valid when no edges have been added yet.
+  void adopt_edges(std::vector<Edge>&& edges) {
+    GCLUS_CHECK(edges_.empty(), "adopt_edges requires an empty builder");
+    for (const auto& [u, v] : edges) {
+      GCLUS_CHECK(u < num_nodes_ && v < num_nodes_,
+                  "edge endpoint out of range");
+    }
+    edges_ = std::move(edges);
+  }
+
   [[nodiscard]] std::size_t num_pending_edges() const { return edges_.size(); }
 
   /// Builds the normalized CSR graph, consuming the accumulated edges.
+  /// Large builds sort and scatter on `pool` (the no-argument form uses
+  /// the process-global pool); the result is byte-identical for any pool.
   [[nodiscard]] Graph build();
+  [[nodiscard]] Graph build(ThreadPool& pool);
 
  private:
   NodeId num_nodes_;

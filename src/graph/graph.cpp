@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace gclus {
 
@@ -9,6 +10,62 @@ Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors)
   GCLUS_CHECK(!offsets_.empty(), "offsets must have n+1 entries");
   GCLUS_CHECK(offsets_.front() == 0);
   GCLUS_CHECK(offsets_.back() == neighbors_.size());
+  offsets_view_ = offsets_;
+  neighbors_view_ = neighbors_;
+}
+
+Graph::Graph(std::span<const EdgeId> offsets, std::span<const NodeId> neighbors,
+             std::shared_ptr<const void> storage)
+    : offsets_view_(offsets),
+      neighbors_view_(neighbors),
+      storage_(std::move(storage)) {
+  GCLUS_CHECK(storage_ != nullptr,
+              "non-owning Graph requires a storage keepalive handle");
+  GCLUS_CHECK(!offsets_view_.empty(), "offsets must have n+1 entries");
+  GCLUS_CHECK(offsets_view_.front() == 0);
+  GCLUS_CHECK(offsets_view_.back() == neighbors_view_.size());
+}
+
+Graph::Graph(const Graph& other)
+    : offsets_(other.offsets_),
+      neighbors_(other.neighbors_),
+      storage_(other.storage_) {
+  if (other.owns_storage()) {
+    offsets_view_ = offsets_;
+    neighbors_view_ = neighbors_;
+  } else {
+    // Copies of a mapped graph share the mapping — no materialization.
+    offsets_view_ = other.offsets_view_;
+    neighbors_view_ = other.neighbors_view_;
+  }
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    Graph tmp(other);
+    swap(tmp);
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept { swap(other); }
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    Graph tmp(std::move(other));
+    swap(tmp);
+  }
+  return *this;
+}
+
+void Graph::swap(Graph& other) noexcept {
+  // Vector buffers are heap-allocated and pointer-stable under swap, so
+  // views into them remain valid and simply trade owners alongside them.
+  offsets_.swap(other.offsets_);
+  neighbors_.swap(other.neighbors_);
+  std::swap(offsets_view_, other.offsets_view_);
+  std::swap(neighbors_view_, other.neighbors_view_);
+  storage_.swap(other.storage_);
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -19,7 +76,7 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
 bool Graph::validate() const {
   const NodeId n = num_nodes();
   for (NodeId u = 0; u < n; ++u) {
-    if (offsets_[u] > offsets_[u + 1]) return false;
+    if (offsets_view_[u] > offsets_view_[u + 1]) return false;
     const auto adj = neighbors(u);
     for (std::size_t i = 0; i < adj.size(); ++i) {
       const NodeId v = adj[i];

@@ -1,18 +1,208 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GCLUS_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "common/check.hpp"
 #include "graph/builder.hpp"
+#include "par/parallel_for.hpp"
+#include "par/thread_pool.hpp"
 
 namespace gclus::io {
 
 namespace {
-constexpr std::uint64_t kBinaryMagic = 0x67636c7573763101ULL;  // "gclusv1"+1
+
+// ---- shared helpers ---------------------------------------------------------
+
+constexpr std::uint64_t kBinaryMagic = 0x67636c7573763101ULL;  // v1: "gclusv1"+1
+
+// Bytes "GCLUSCS2" when stored little-endian.
+constexpr std::uint64_t kCsr2Magic = 0x32534353554C4347ULL;
+constexpr std::uint32_t kCsr2Version = 2;
+constexpr std::uint32_t kCsr2FlagWeights = 1u << 0;
+constexpr std::uint32_t kCsr2KnownFlags = kCsr2FlagWeights;
+constexpr std::uint64_t kCsr2HeaderBytes = 72;
+constexpr std::uint64_t kCsr2Align = 64;
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
 }
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+template <typename T>
+T byteswap_int(T v) {
+  auto u = static_cast<std::uint64_t>(v);
+  if constexpr (sizeof(T) == 4) {
+    u = __builtin_bswap32(static_cast<std::uint32_t>(u));
+  } else {
+    u = __builtin_bswap64(u);
+  }
+  return static_cast<T>(u);
+}
+
+template <typename T>
+T to_le(T v) {
+  return kLittleEndian ? v : byteswap_int(v);
+}
+template <typename T>
+T from_le(T v) {
+  return to_le(v);
+}
+
+std::uint64_t align_up(std::uint64_t pos, std::uint64_t align) {
+  return (pos + align - 1) / align * align;
+}
+
+/// Checksums `count` elements of `data` in their little-endian byte
+/// representation (a straight pass over memory on LE hosts).
+template <typename T>
+std::uint64_t fnv1a_array_le(std::uint64_t h, const T* data,
+                             std::uint64_t count) {
+  if constexpr (kLittleEndian) {
+    return fnv1a(h, data, static_cast<std::size_t>(count) * sizeof(T));
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const T le = to_le(data[i]);
+      h = fnv1a(h, &le, sizeof(T));
+    }
+    return h;
+  }
+}
+
+template <typename T>
+void write_array_le(std::ofstream& out, const T* data, std::uint64_t count) {
+  if constexpr (kLittleEndian) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(count * sizeof(T)));
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const T le = to_le(data[i]);
+      out.write(reinterpret_cast<const char*>(&le), sizeof(T));
+    }
+  }
+}
+
+template <typename T>
+void put_le(std::ofstream& out, T v) {
+  const T le = to_le(v);
+  out.write(reinterpret_cast<const char*>(&le), sizeof(T));
+}
+
+template <typename T>
+T read_le_at(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return from_le(v);
+}
+
+void write_zeros(std::ofstream& out, std::uint64_t count) {
+  static constexpr std::array<char, 64> zeros{};
+  while (count > 0) {
+    const std::uint64_t n = std::min<std::uint64_t>(count, zeros.size());
+    out.write(zeros.data(), static_cast<std::streamsize>(n));
+    count -= n;
+  }
+}
+
+// ---- file mapping -----------------------------------------------------------
+
+/// A read-only mapping (or, on platforms without mmap, nothing).  Held via
+/// shared_ptr as the keepalive of non-owning Graphs; the mapping outlives
+/// the file's directory entry, so mapped files may be unlinked or replaced
+/// (the dataset cache's atomic-rename refresh) while in use.
+class MappedFile {
+ public:
+  static std::shared_ptr<MappedFile> map(const std::string& path) {
+#ifdef GCLUS_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return nullptr;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the inode alive
+    if (addr == MAP_FAILED) return nullptr;
+#ifdef MADV_SEQUENTIAL
+    ::madvise(addr, size, MADV_SEQUENTIAL);
+#endif
+    return std::shared_ptr<MappedFile>(new MappedFile(addr, size));
+#else
+    (void)path;
+    return nullptr;
+#endif
+  }
+
+  [[nodiscard]] const std::byte* data() const {
+    return static_cast<const std::byte*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  ~MappedFile() {
+#ifdef GCLUS_HAS_MMAP
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+ private:
+  MappedFile(void* addr, std::size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Reads a whole file into memory; empty optional if it cannot be opened.
+std::optional<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (!in.good()) return std::nullopt;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// ---- edge-list text ---------------------------------------------------------
 
 Graph read_edge_list(std::istream& in) {
   std::unordered_map<std::uint64_t, NodeId> compact;
@@ -29,17 +219,184 @@ Graph read_edge_list(std::istream& in) {
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
     if (!(ls >> u >> v)) continue;
-    edges.emplace_back(intern(u), intern(v));
+    // Intern in (u, v) order through named locals: function-argument
+    // evaluation order is unspecified, and the id numbering must not be.
+    const NodeId a = intern(u);
+    const NodeId b = intern(v);
+    edges.emplace_back(a, b);
   }
   GraphBuilder b(static_cast<NodeId>(compact.size()));
   for (const auto& [u, v] : edges) b.add_edge(u, v);
   return b.build();
 }
 
-Graph read_edge_list_file(const std::string& path) {
-  std::ifstream in(path);
+namespace {
+
+struct RawEdge {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+/// strtoull-compatible token parse (the semantics of `istream >> uint64`):
+/// optional sign ('-' wraps modulo 2^64), decimal digits, failure on
+/// overflow or no digits.  Advances `p` past the token on success.
+bool parse_u64_token(const char*& p, const char* end, std::uint64_t& out) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\v' ||
+                     *p == '\f')) {
+    ++p;
+  }
+  bool negate = false;
+  if (p < end && (*p == '+' || *p == '-')) {
+    negate = *p == '-';
+    ++p;
+  }
+  if (p >= end || *p < '0' || *p > '9') return false;
+  std::uint64_t value = 0;
+  bool overflow = false;
+  while (p < end && *p >= '0' && *p <= '9') {
+    const unsigned digit = static_cast<unsigned>(*p - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      overflow = true;
+    }
+    value = value * 10 + digit;
+    ++p;
+  }
+  if (overflow) return false;
+  out = negate ? std::uint64_t{0} - value : value;
+  return true;
+}
+
+/// One line in [p, end): blank and '#'/'%' comment lines are skipped, as
+/// are lines without two parseable integers — exactly the serial parser's
+/// per-line behavior.
+void parse_line(const char* p, const char* end, std::vector<RawEdge>& out) {
+  if (p >= end) return;
+  if (*p == '#' || *p == '%') return;
+  RawEdge e;
+  if (!parse_u64_token(p, end, e.u)) return;
+  if (!parse_u64_token(p, end, e.v)) return;
+  out.push_back(e);
+}
+
+/// Parses every line whose first byte lies in [lo, hi).  Chunk boundaries
+/// are line starts, so no line crosses chunks.
+void parse_chunk(std::string_view text, std::size_t lo, std::size_t hi,
+                 std::vector<RawEdge>& out) {
+  const char* base = text.data();
+  std::size_t p = lo;
+  while (p < hi) {
+    const void* nl = std::memchr(base + p, '\n', text.size() - p);
+    const std::size_t line_end =
+        nl != nullptr ? static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                                 base)
+                      : text.size();
+    parse_line(base + p, base + line_end, out);
+    p = line_end + 1;
+  }
+}
+
+// Chunking is a fixed byte grain, *not* a function of the thread count:
+// the chunk decomposition (and therefore the merged, file-ordered edge
+// list) is identical on 1, 2, or 64 threads.
+constexpr std::size_t kParseChunkBytes = std::size_t{1} << 20;
+
+}  // namespace
+
+Graph parse_edge_list(std::string_view text, ThreadPool& pool) {
+  const std::size_t nbytes = text.size();
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, (nbytes + kParseChunkBytes - 1) /
+                                   kParseChunkBytes);
+
+  // Chunk i starts at the first line start at or after i*kParseChunkBytes
+  // (a line start is position 0 or any position preceded by '\n').
+  std::vector<std::size_t> start(num_chunks + 1);
+  start[0] = 0;
+  start[num_chunks] = nbytes;
+  for (std::size_t i = 1; i < num_chunks; ++i) {
+    const std::size_t b = i * kParseChunkBytes;
+    if (text[b - 1] == '\n') {
+      start[i] = b;
+    } else {
+      const std::size_t nl = text.find('\n', b);
+      start[i] = nl == std::string_view::npos ? nbytes : nl + 1;
+    }
+  }
+
+  std::vector<std::vector<RawEdge>> parts(num_chunks);
+  parallel_for(
+      pool, 0, num_chunks,
+      [&](std::size_t i) { parse_chunk(text, start[i], start[i + 1], parts[i]); },
+      /*grain=*/1);
+
+  // Merge in chunk (= file) order via the prefix-sum concat, then intern
+  // ids serially in first-appearance order — the same numbering the serial
+  // parser produces.
+  std::vector<RawEdge> raw;
+  parallel_concat(pool, parts, raw);
+  parts.clear();
+  parts.shrink_to_fit();
+
+  std::vector<Edge> edges(raw.size());
+  NodeId next = 0;
+  if (!raw.empty()) {
+    const std::uint64_t max_id = parallel_reduce(
+        pool, 0, raw.size(), std::uint64_t{0},
+        [&](std::size_t i) { return std::max(raw[i].u, raw[i].v); },
+        [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+    const std::uint64_t dense_limit =
+        std::max<std::uint64_t>(std::uint64_t{1} << 16, 4 * raw.size());
+    if (max_id < dense_limit) {
+      // Dense ids (the common case for generated/preprocessed lists): a
+      // flat table beats hashing by an order of magnitude.
+      std::vector<NodeId> table(static_cast<std::size_t>(max_id) + 1,
+                                kInvalidNode);
+      auto intern = [&](std::uint64_t id) {
+        NodeId& slot = table[static_cast<std::size_t>(id)];
+        if (slot == kInvalidNode) slot = next++;
+        return slot;
+      };
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        edges[i] = {intern(raw[i].u), intern(raw[i].v)};
+      }
+    } else {
+      std::unordered_map<std::uint64_t, NodeId> compact;
+      compact.reserve(2 * raw.size());
+      auto intern = [&](std::uint64_t id) {
+        const auto [it, inserted] = compact.emplace(id, next);
+        if (inserted) ++next;
+        return it->second;
+      };
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        edges[i] = {intern(raw[i].u), intern(raw[i].v)};
+      }
+    }
+  }
+  raw.clear();
+  raw.shrink_to_fit();
+
+  GraphBuilder b(next);
+  b.adopt_edges(std::move(edges));
+  return b.build(pool);
+}
+
+Graph read_edge_list_file(const std::string& path, ThreadPool& pool) {
+  if (const auto mapped = MappedFile::map(path)) {
+    const std::string_view text(reinterpret_cast<const char*>(mapped->data()),
+                                mapped->size());
+    return parse_edge_list(text, pool);
+  }
+  // No mmap (unsupported platform, or an empty/special file): slurp.
+  std::ifstream in(path, std::ios::binary);
   GCLUS_CHECK(in.good(), "cannot open ", path.c_str());
-  return read_edge_list(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = std::move(buf).str();
+  return parse_edge_list(text, pool);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  return read_edge_list_file(path, ThreadPool::global());
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
@@ -55,6 +412,8 @@ void write_edge_list_file(const Graph& g, const std::string& path) {
   GCLUS_CHECK(out.good(), "cannot open ", path.c_str());
   write_edge_list(g, out);
 }
+
+// ---- CSR v1 binary (legacy) -------------------------------------------------
 
 void write_binary_file(const Graph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
@@ -73,14 +432,33 @@ void write_binary_file(const Graph& g, const std::string& path) {
 }
 
 Graph read_binary_file(const std::string& path) {
+  std::error_code ec;
+  const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
   std::ifstream in(path, std::ios::binary);
-  GCLUS_CHECK(in.good(), "cannot open ", path.c_str());
+  GCLUS_CHECK(!ec && in.good(), "cannot open ", path.c_str());
+  GCLUS_CHECK(file_bytes >= sizeof kBinaryMagic,
+              "not a gclus binary graph: ", path.c_str());
   std::uint64_t magic = 0, n = 0, half_edges = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
   GCLUS_CHECK(magic == kBinaryMagic, "not a gclus binary graph: ",
               path.c_str());
+  // Validate the header against the file size *before* trusting it for
+  // allocation sizes — a truncated or corrupted dump must fail cleanly,
+  // not read garbage into CSR arrays.
+  GCLUS_CHECK(file_bytes >= 24, "truncated gclus binary graph: ",
+              path.c_str());
   in.read(reinterpret_cast<char*>(&n), sizeof n);
   in.read(reinterpret_cast<char*>(&half_edges), sizeof half_edges);
+  GCLUS_CHECK(n <= std::numeric_limits<NodeId>::max(),
+              "corrupt gclus binary graph (node count ", n, "): ",
+              path.c_str());
+  GCLUS_CHECK(half_edges <= file_bytes / sizeof(NodeId),
+              "truncated gclus binary graph: ", path.c_str());
+  const std::uint64_t expected =
+      24 + (n + 1) * sizeof(EdgeId) + half_edges * sizeof(NodeId);
+  GCLUS_CHECK(file_bytes == expected, "truncated gclus binary graph: ",
+              path.c_str(), " (expected ", expected, " bytes, found ",
+              file_bytes, ")");
   std::vector<EdgeId> offsets(n + 1);
   std::vector<NodeId> neighbors(half_edges);
   in.read(reinterpret_cast<char*>(offsets.data()),
@@ -89,6 +467,363 @@ Graph read_binary_file(const std::string& path) {
           static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
   GCLUS_CHECK(in.good(), "truncated gclus binary graph: ", path.c_str());
   return Graph(std::move(offsets), std::move(neighbors));
+}
+
+// ---- CSR v2 binary ----------------------------------------------------------
+
+namespace {
+
+struct Csr2Header {
+  std::uint32_t flags = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_half_edges = 0;
+  std::uint64_t offsets_pos = 0;
+  std::uint64_t neighbors_pos = 0;
+  std::uint64_t weights_pos = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Core writer shared by the weighted and unweighted entry points.
+/// `weighted` is explicit (not inferred from the span, whose data pointer
+/// is null for edgeless graphs).  Returns false on any I/O failure; the
+/// public write_csr_file wrappers turn that into a GCLUS_CHECK abort, the
+/// best-effort consumers (try_write_csr_file, the dataset cache) don't.
+[[nodiscard]] bool write_csr2(const std::string& path,
+                              std::span<const EdgeId> offsets,
+                              std::span<const NodeId> neighbors, bool weighted,
+                              std::span<const Weight> weights) {
+  Csr2Header h;
+  h.num_nodes = offsets.size() - 1;
+  h.num_half_edges = neighbors.size();
+  h.offsets_pos = align_up(kCsr2HeaderBytes, kCsr2Align);
+  h.neighbors_pos =
+      align_up(h.offsets_pos + offsets.size() * sizeof(EdgeId), kCsr2Align);
+  const std::uint64_t neighbors_end =
+      h.neighbors_pos + neighbors.size() * sizeof(NodeId);
+  if (weighted) {
+    h.flags |= kCsr2FlagWeights;
+    h.weights_pos = align_up(neighbors_end, kCsr2Align);
+  }
+
+  h.checksum = fnv1a_array_le(kFnvOffsetBasis, offsets.data(), offsets.size());
+  h.checksum = fnv1a_array_le(h.checksum, neighbors.data(), neighbors.size());
+  if (weighted) {
+    h.checksum = fnv1a_array_le(h.checksum, weights.data(), weights.size());
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  put_le(out, kCsr2Magic);
+  put_le(out, kCsr2Version);
+  put_le(out, h.flags);
+  put_le(out, h.num_nodes);
+  put_le(out, h.num_half_edges);
+  put_le(out, h.offsets_pos);
+  put_le(out, h.neighbors_pos);
+  put_le(out, h.weights_pos);
+  put_le(out, h.checksum);
+  put_le(out, std::uint64_t{0});  // reserved
+  write_zeros(out, h.offsets_pos - kCsr2HeaderBytes);
+  write_array_le(out, offsets.data(), offsets.size());
+  write_zeros(out, h.neighbors_pos -
+                       (h.offsets_pos + offsets.size() * sizeof(EdgeId)));
+  write_array_le(out, neighbors.data(), neighbors.size());
+  if (weighted) {
+    write_zeros(out, h.weights_pos - neighbors_end);
+    write_array_le(out, weights.data(), weights.size());
+  }
+  return out.good();
+}
+
+/// Parses and sanity-checks a CSR v2 header against the buffer size.
+/// Returns an error description, or nullptr on success.
+const char* parse_csr2_header(const std::byte* data, std::uint64_t size,
+                              Csr2Header& h) {
+  if (size < kCsr2HeaderBytes) return "file shorter than a CSR v2 header";
+  if (read_le_at<std::uint64_t>(data) != kCsr2Magic) {
+    return "not a gclus CSR v2 file (bad magic)";
+  }
+  if (read_le_at<std::uint32_t>(data + 8) != kCsr2Version) {
+    return "unsupported CSR version";
+  }
+  h.flags = read_le_at<std::uint32_t>(data + 12);
+  if ((h.flags & ~kCsr2KnownFlags) != 0) return "unknown CSR v2 flags";
+  h.num_nodes = read_le_at<std::uint64_t>(data + 16);
+  h.num_half_edges = read_le_at<std::uint64_t>(data + 24);
+  h.offsets_pos = read_le_at<std::uint64_t>(data + 32);
+  h.neighbors_pos = read_le_at<std::uint64_t>(data + 40);
+  h.weights_pos = read_le_at<std::uint64_t>(data + 48);
+  h.checksum = read_le_at<std::uint64_t>(data + 56);
+
+  if (h.num_nodes > std::numeric_limits<NodeId>::max()) {
+    return "node count exceeds NodeId range";
+  }
+  // Section bounds, written to be overflow-safe: divide before multiply.
+  const std::uint64_t num_offsets = h.num_nodes + 1;
+  if (h.offsets_pos < kCsr2HeaderBytes || h.offsets_pos % kCsr2Align != 0 ||
+      h.offsets_pos > size || num_offsets > (size - h.offsets_pos) / 8) {
+    return "truncated CSR v2 file (offsets section out of bounds)";
+  }
+  if (h.neighbors_pos < h.offsets_pos + num_offsets * 8 ||
+      h.neighbors_pos % kCsr2Align != 0 || h.neighbors_pos > size ||
+      h.num_half_edges > (size - h.neighbors_pos) / 4) {
+    return "truncated CSR v2 file (neighbors section out of bounds)";
+  }
+  if ((h.flags & kCsr2FlagWeights) != 0) {
+    if (h.weights_pos < h.neighbors_pos + h.num_half_edges * 4 ||
+        h.weights_pos % kCsr2Align != 0 || h.weights_pos > size ||
+        h.num_half_edges > (size - h.weights_pos) / 8) {
+      return "truncated CSR v2 file (weights section out of bounds)";
+    }
+  } else if (h.weights_pos != 0) {
+    return "weights position set without the weights flag";
+  }
+  return nullptr;
+}
+
+/// Structural validation of decoded arrays: offsets monotone from 0 to m,
+/// every neighbor id in range.  Guards algorithms against out-of-bounds
+/// indexing on corrupted (but checksum-consistent, e.g. maliciously
+/// crafted) files.
+const char* validate_csr_arrays(std::span<const EdgeId> offsets,
+                                std::span<const NodeId> neighbors) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != neighbors.size()) {
+    return "corrupt CSR v2 payload (offset endpoints)";
+  }
+  for (std::size_t u = 1; u < offsets.size(); ++u) {
+    if (offsets[u] < offsets[u - 1]) {
+      return "corrupt CSR v2 payload (offsets not monotone)";
+    }
+  }
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  for (const NodeId v : neighbors) {
+    if (v >= n) return "corrupt CSR v2 payload (neighbor id out of range)";
+  }
+  return nullptr;
+}
+
+struct LoadedCsr2 {
+  Csr2Header header;
+  // Exactly one of these is populated: mapped spans (+ the mapping) or
+  // owned vectors.
+  std::span<const EdgeId> offsets;
+  std::span<const NodeId> neighbors;
+  std::span<const Weight> weights;
+  std::shared_ptr<MappedFile> mapping;
+  std::vector<EdgeId> owned_offsets;
+  std::vector<NodeId> owned_neighbors;
+  std::vector<Weight> owned_weights;
+};
+
+template <typename T>
+std::vector<T> decode_array_le(const std::byte* p, std::uint64_t count) {
+  std::vector<T> out(static_cast<std::size_t>(count));
+  if (count == 0) return out;
+  std::memcpy(out.data(), p, static_cast<std::size_t>(count) * sizeof(T));
+  if constexpr (!kLittleEndian) {
+    for (auto& v : out) v = from_le(v);
+  }
+  return out;
+}
+
+/// Loads + validates a CSR v2 file into spans (mapped) or vectors
+/// (copied).  Returns an error description, or nullptr on success.
+const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
+                      LoadedCsr2& out) {
+  // mmap zero-copy requires a little-endian host (the arrays are used in
+  // place); BE hosts decode through the copy path.
+  const bool can_mmap = mmap_supported() && kLittleEndian;
+  bool use_mmap = false;
+  switch (opts.mode) {
+    case CsrLoadMode::kAuto:
+      use_mmap = can_mmap;
+      break;
+    case CsrLoadMode::kMmap:
+      if (!can_mmap) return "mmap loading not supported on this platform";
+      use_mmap = true;
+      break;
+    case CsrLoadMode::kCopy:
+      break;
+  }
+
+  const std::byte* data = nullptr;
+  std::uint64_t size = 0;
+  std::vector<std::byte> bytes;
+  if (use_mmap) {
+    out.mapping = MappedFile::map(path);
+    if (out.mapping == nullptr) {
+      if (opts.mode == CsrLoadMode::kMmap) return "cannot mmap file";
+      use_mmap = false;  // fall back to read()
+    } else {
+      data = out.mapping->data();
+      size = out.mapping->size();
+    }
+  }
+  if (!use_mmap) {
+    auto read = read_file_bytes(path);
+    if (!read.has_value()) return "cannot open file";
+    bytes = std::move(*read);
+    data = bytes.data();
+    size = bytes.size();
+  }
+
+  Csr2Header& h = out.header;
+  if (const char* err = parse_csr2_header(data, size, h)) return err;
+  const bool weighted = (h.flags & kCsr2FlagWeights) != 0;
+  const std::uint64_t num_offsets = h.num_nodes + 1;
+
+  if (opts.verify) {
+    std::uint64_t sum = fnv1a(kFnvOffsetBasis, data + h.offsets_pos,
+                              static_cast<std::size_t>(num_offsets) * 8);
+    sum = fnv1a(sum, data + h.neighbors_pos,
+                static_cast<std::size_t>(h.num_half_edges) * 4);
+    if (weighted) {
+      sum = fnv1a(sum, data + h.weights_pos,
+                  static_cast<std::size_t>(h.num_half_edges) * 8);
+    }
+    if (sum != h.checksum) return "CSR v2 checksum mismatch";
+  }
+
+  if (use_mmap) {
+    out.offsets = {reinterpret_cast<const EdgeId*>(data + h.offsets_pos),
+                   static_cast<std::size_t>(num_offsets)};
+    out.neighbors = {reinterpret_cast<const NodeId*>(data + h.neighbors_pos),
+                     static_cast<std::size_t>(h.num_half_edges)};
+    if (weighted) {
+      out.weights = {reinterpret_cast<const Weight*>(data + h.weights_pos),
+                     static_cast<std::size_t>(h.num_half_edges)};
+    }
+  } else {
+    out.owned_offsets =
+        decode_array_le<EdgeId>(data + h.offsets_pos, num_offsets);
+    out.owned_neighbors =
+        decode_array_le<NodeId>(data + h.neighbors_pos, h.num_half_edges);
+    if (weighted) {
+      out.owned_weights =
+          decode_array_le<Weight>(data + h.weights_pos, h.num_half_edges);
+    }
+    out.offsets = out.owned_offsets;
+    out.neighbors = out.owned_neighbors;
+    out.weights = out.owned_weights;
+    out.mapping = nullptr;
+  }
+
+  if (opts.verify) {
+    if (const char* err = validate_csr_arrays(out.offsets, out.neighbors)) {
+      return err;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool mmap_supported() {
+#ifdef GCLUS_HAS_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+void write_csr_file(const Graph& g, const std::string& path) {
+  GCLUS_CHECK(write_csr2(path, g.offsets(), g.neighbor_array(),
+                         /*weighted=*/false, {}),
+              "cannot write CSR v2 file: ", path.c_str());
+}
+
+bool try_write_csr_file(const Graph& g, const std::string& path) {
+  return write_csr2(path, g.offsets(), g.neighbor_array(),
+                    /*weighted=*/false, {});
+}
+
+void write_csr_file(const WeightedGraph& g, const std::string& path) {
+  // Split the interleaved adjacency into the on-disk section pair.
+  const auto adj = g.adjacency();
+  std::vector<NodeId> neighbors(adj.size());
+  std::vector<Weight> weights(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    neighbors[i] = adj[i].to;
+    weights[i] = adj[i].w;
+  }
+  GCLUS_CHECK(
+      write_csr2(path, g.offsets(), neighbors, /*weighted=*/true, weights),
+      "cannot write CSR v2 file: ", path.c_str());
+}
+
+Graph load_csr_file(const std::string& path, const CsrLoadOptions& opts) {
+  LoadedCsr2 loaded;
+  const char* err = load_csr2(path, opts, loaded);
+  GCLUS_CHECK(err == nullptr, err == nullptr ? "" : err, ": ", path.c_str());
+  GCLUS_CHECK((loaded.header.flags & kCsr2FlagWeights) == 0,
+              "weighted CSR v2 file (use load_weighted_csr_file): ",
+              path.c_str());
+  if (loaded.mapping != nullptr) {
+    return Graph(loaded.offsets, loaded.neighbors, std::move(loaded.mapping));
+  }
+  return Graph(std::move(loaded.owned_offsets),
+               std::move(loaded.owned_neighbors));
+}
+
+std::optional<Graph> try_load_csr_file(const std::string& path,
+                                       const CsrLoadOptions& opts) {
+  LoadedCsr2 loaded;
+  if (load_csr2(path, opts, loaded) != nullptr) return std::nullopt;
+  if ((loaded.header.flags & kCsr2FlagWeights) != 0) return std::nullopt;
+  if (loaded.mapping != nullptr) {
+    return Graph(loaded.offsets, loaded.neighbors, std::move(loaded.mapping));
+  }
+  return Graph(std::move(loaded.owned_offsets),
+               std::move(loaded.owned_neighbors));
+}
+
+WeightedGraph load_weighted_csr_file(const std::string& path,
+                                     const CsrLoadOptions& opts) {
+  // Weighted graphs interleave (to, w) in memory, so loading always
+  // materializes; map the file read-only all the same (kAuto) to skip the
+  // intermediate buffer.
+  LoadedCsr2 loaded;
+  const char* err = load_csr2(path, opts, loaded);
+  GCLUS_CHECK(err == nullptr, err == nullptr ? "" : err, ": ", path.c_str());
+  GCLUS_CHECK((loaded.header.flags & kCsr2FlagWeights) != 0,
+              "unweighted CSR v2 file (use load_csr_file): ", path.c_str());
+  std::vector<EdgeId> offsets(loaded.offsets.begin(), loaded.offsets.end());
+  std::vector<WeightedHalfEdge> adj(loaded.neighbors.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    adj[i] = {loaded.neighbors[i], loaded.weights[i]};
+  }
+  return WeightedGraph::from_csr(std::move(offsets), std::move(adj));
+}
+
+bool is_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::byte head[8];
+  in.read(reinterpret_cast<char*>(head), sizeof head);
+  if (!in.good()) return false;
+  return read_le_at<std::uint64_t>(head) == kCsr2Magic;
+}
+
+std::optional<Csr2Info> probe_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::byte head[kCsr2HeaderBytes];
+  in.read(reinterpret_cast<char*>(head), sizeof head);
+  if (!in.good()) return std::nullopt;
+  std::error_code ec;
+  const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  if (read_le_at<std::uint64_t>(head) != kCsr2Magic) return std::nullopt;
+  Csr2Info info;
+  info.version = read_le_at<std::uint32_t>(head + 8);
+  if (info.version != kCsr2Version) return std::nullopt;
+  info.weighted =
+      (read_le_at<std::uint32_t>(head + 12) & kCsr2FlagWeights) != 0;
+  info.num_nodes = read_le_at<std::uint64_t>(head + 16);
+  info.num_half_edges = read_le_at<std::uint64_t>(head + 24);
+  info.file_bytes = file_bytes;
+  return info;
 }
 
 }  // namespace gclus::io

@@ -1,27 +1,153 @@
-// Graph serialization: whitespace-separated edge-list text (the format of
-// the SNAP/LAW datasets the paper uses) and a compact binary format for
-// fast reload of generated workloads.
+// Graph serialization and ingestion.
+//
+// Three on-disk representations:
+//
+//   * Edge-list text — the format of the SNAP/LAW datasets the paper uses:
+//     one "u v" pair per line, '#'/'%' comments, arbitrary sparse ids.
+//     Reading a *file* goes through a parallel parser (per-thread byte
+//     chunks split on line boundaries, merged with the prefix-sum
+//     machinery in par/) whose output is byte-identical to the serial
+//     stream parser at any thread count.
+//
+//   * CSR v1 binary (legacy) — magic + n + m + raw arrays in host
+//     endianness.  Kept for old dumps; the reader validates the header
+//     against the file size and rejects truncated files.
+//
+//   * CSR v2 binary — the scalable format: fixed little-endian layout,
+//     versioned header with explicit section positions, FNV-1a payload
+//     checksum, 64-byte-aligned sections, and an optional weights section.
+//     Loading can mmap the file and hand the offset/neighbor sections to
+//     Graph *in place* (zero copy, non-owning storage mode), falling back
+//     to read() on platforms without mmap.
+//
+// CSR v2 layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "GCLUSCS2"
+//   8       4     version (2)
+//   12      4     flags (bit 0: weights section present)
+//   16      8     n  (node count; offsets section has n+1 entries)
+//   24      8     m  (directed half-edge count; 2x undirected edges)
+//   32      8     offsets_pos    (byte position of the offsets section)
+//   40      8     neighbors_pos
+//   48      8     weights_pos    (0 when absent)
+//   56      8     checksum (FNV-1a 64 over the payload sections, in order)
+//   64      8     reserved (0)
+//   ...           zero padding to offsets_pos
+//   sections: offsets (n+1)*8B, neighbors m*4B, weights m*8B, each start
+//   aligned to 64 bytes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
+#include "graph/weighted.hpp"
+
+namespace gclus {
+class ThreadPool;
+}
 
 namespace gclus::io {
 
+// ---- edge-list text ---------------------------------------------------------
+
 /// Parses an edge-list stream: one "u v" pair per line; lines starting
-/// with '#' or '%' are comments.  Node ids may be sparse; they are
-/// compacted to [0, n).  The graph is symmetrized and deduplicated.
+/// with '#' or '%' are comments; malformed lines are skipped.  Node ids
+/// may be sparse; they are compacted to [0, n) in first-appearance order.
+/// The graph is symmetrized and deduplicated.  Serial — the reference
+/// semantics the parallel parser reproduces exactly.
 [[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Parallel edge-list parser over an in-memory buffer: the text is split
+/// into fixed-size byte chunks advanced to line boundaries, chunks parse
+/// concurrently on `pool`, and the per-chunk edge lists merge in file
+/// order via prefix sums — so the result (including node numbering) is
+/// byte-identical to read_edge_list at any thread count.
+[[nodiscard]] Graph parse_edge_list(std::string_view text, ThreadPool& pool);
+
+/// Reads an edge-list file through parse_edge_list (mmap-ing the text when
+/// possible).  The one-argument form uses the process-global pool.
 [[nodiscard]] Graph read_edge_list_file(const std::string& path);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path,
+                                        ThreadPool& pool);
 
 /// Writes "u v" per undirected edge (u < v).
 void write_edge_list(const Graph& g, std::ostream& out);
 void write_edge_list_file(const Graph& g, const std::string& path);
 
+// ---- CSR v1 binary (legacy) -------------------------------------------------
+
 /// Binary round-trip: magic, n, m, offsets, neighbors (host endianness).
+/// Prefer the CSR v2 functions below for new data.
 void write_binary_file(const Graph& g, const std::string& path);
 [[nodiscard]] Graph read_binary_file(const std::string& path);
+
+// ---- CSR v2 binary ----------------------------------------------------------
+
+enum class CsrLoadMode {
+  kAuto,  ///< mmap when available, else copy
+  kMmap,  ///< require mmap; abort if unsupported
+  kCopy,  ///< read() into owning vectors
+};
+
+struct CsrLoadOptions {
+  CsrLoadMode mode = CsrLoadMode::kAuto;
+  /// Verify the payload checksum and structural invariants (offsets
+  /// monotone and in range, neighbor ids < n) before handing out the
+  /// graph.  One sequential pass over the file — cheap next to any
+  /// algorithm that will touch the data anyway.
+  bool verify = true;
+};
+
+/// Header fields of a CSR v2 file (see probe_csr_file).
+struct Csr2Info {
+  std::uint32_t version = 0;
+  bool weighted = false;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_half_edges = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+void write_csr_file(const Graph& g, const std::string& path);
+void write_csr_file(const WeightedGraph& g, const std::string& path);
+
+/// Non-aborting variant for best-effort writers (the dataset cache):
+/// false on any I/O failure (unwritable directory, disk full) instead of
+/// aborting.  A false return may leave a partial file behind; partial
+/// files never validate (checksum), so readers treat them as absent.
+[[nodiscard]] bool try_write_csr_file(const Graph& g, const std::string& path);
+
+/// Loads an unweighted CSR v2 file.  In mmap mode the returned Graph views
+/// the mapped sections in place (Graph::owns_storage() == false) and the
+/// mapping is pinned for the graph's lifetime — the file may be unlinked
+/// afterwards.  Aborts (GCLUS_CHECK) on malformed, truncated, weighted, or
+/// checksum-mismatched input.
+[[nodiscard]] Graph load_csr_file(const std::string& path,
+                                  const CsrLoadOptions& opts = {});
+
+/// Non-aborting variant for best-effort consumers (the dataset cache):
+/// nullopt on any open/validation failure instead of aborting.
+[[nodiscard]] std::optional<Graph> try_load_csr_file(
+    const std::string& path, const CsrLoadOptions& opts = {});
+
+/// Loads a weighted CSR v2 file.  Always materializes (the interleaved
+/// in-memory adjacency differs from the split on-disk sections), so there
+/// is no mmap storage mode for weighted graphs.
+[[nodiscard]] WeightedGraph load_weighted_csr_file(
+    const std::string& path, const CsrLoadOptions& opts = {});
+
+/// True if `path` exists and starts with the CSR v2 magic.
+[[nodiscard]] bool is_csr_file(const std::string& path);
+
+/// Header of a CSR v2 file without loading the payload; nullopt if the
+/// file is missing, short, or not CSR v2.
+[[nodiscard]] std::optional<Csr2Info> probe_csr_file(const std::string& path);
+
+/// True when this platform supports mmap-backed loading (POSIX).
+[[nodiscard]] bool mmap_supported();
 
 }  // namespace gclus::io

@@ -18,6 +18,9 @@ namespace gclus {
 struct WeightedHalfEdge {
   NodeId to;
   Weight w;
+
+  friend bool operator==(const WeightedHalfEdge&,
+                         const WeightedHalfEdge&) = default;
 };
 
 /// CSR weighted undirected graph.
@@ -33,14 +36,27 @@ class WeightedGraph {
   /// Lifts an unweighted graph to weight-1 edges.
   static WeightedGraph from_unit_weights(const Graph& g);
 
+  /// Adopts prebuilt CSR arrays verbatim (no re-sorting or dedup) — the
+  /// deserialization entry point for graph/io.hpp, which validates the
+  /// arrays structurally (and by checksum) before constructing.  Only the
+  /// cheap shape invariants are re-checked here.
+  static WeightedGraph from_csr(std::vector<EdgeId> offsets,
+                                std::vector<WeightedHalfEdge> adj);
+
   [[nodiscard]] NodeId num_nodes() const {
     return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
   }
   [[nodiscard]] EdgeId num_edges() const { return adj_.size() / 2; }
+  [[nodiscard]] EdgeId num_half_edges() const { return adj_.size(); }
 
   [[nodiscard]] std::span<const WeightedHalfEdge> neighbors(NodeId u) const {
     GCLUS_DCHECK(u < num_nodes());
     return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] std::span<const EdgeId> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const WeightedHalfEdge> adjacency() const {
+    return adj_;
   }
 
  private:

@@ -1,12 +1,18 @@
 #include "workloads/datasets.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <system_error>
 
 #include "common/check.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 
 namespace gclus::workloads {
 
@@ -32,6 +38,32 @@ NodeId pow2_at_least(NodeId x) {
 
 Graph connected(Graph g) { return largest_component(g).graph; }
 
+struct CacheCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> stores{0};
+};
+
+CacheCounters& counters() {
+  static CacheCounters c;
+  return c;
+}
+
+/// Scale rendered compactly and filename-safe ("1", "0.25", "2.5").
+std::string scale_tag() {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", workload_scale());
+  return buf;
+}
+
+/// Distinct per process and per call, so concurrent cache fillers never
+/// collide on the temp file they publish from.
+std::string unique_tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t salt = std::random_device{}();
+  return std::to_string(salt) + "-" + std::to_string(counter.fetch_add(1));
+}
+
 }  // namespace
 
 double workload_scale() {
@@ -45,6 +77,53 @@ double workload_scale() {
   return scale;
 }
 
+std::string dataset_cache_dir() {
+  if (const char* env = std::getenv("GCLUS_DATASET_CACHE_DIR")) return env;
+  return {};
+}
+
+DatasetCacheStats dataset_cache_stats() {
+  const auto& c = counters();
+  return {c.hits.load(), c.misses.load(), c.stores.load()};
+}
+
+Graph cached_graph(const std::string& key,
+                   const std::function<Graph()>& build) {
+  const std::string dir = dataset_cache_dir();
+  if (dir.empty()) return build();
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; a miss just rebuilds
+  const std::string path = dir + "/" + key + "-g" +
+                           std::to_string(kDatasetGeneratorVersion) + ".csr2";
+  // try_load validates magic, sections, and checksum — a truncated or
+  // corrupted entry (e.g. a process killed mid-publish on a filesystem
+  // without atomic rename) reads as a miss and is rebuilt below.
+  if (auto cached = io::try_load_csr_file(path)) {
+    counters().hits.fetch_add(1, std::memory_order_relaxed);
+    return std::move(*cached);
+  }
+  counters().misses.fetch_add(1, std::memory_order_relaxed);
+  Graph g = build();
+
+  // Publish atomically: concurrent fillers (parallel ctest) each write a
+  // private temp file and the last rename wins — readers mmap whichever
+  // complete inode they opened.  Publication is best-effort end to end:
+  // an unwritable or full cache volume degrades to regeneration, never
+  // aborts the run.
+  const std::string tmp = path + ".tmp." + unique_tmp_suffix();
+  if (io::try_write_csr_file(g, tmp)) {
+    fs::rename(tmp, path, ec);
+    if (!ec) {
+      counters().stores.fetch_add(1, std::memory_order_relaxed);
+      return g;
+    }
+  }
+  fs::remove(tmp, ec);
+  return g;
+}
+
 const std::vector<std::string>& dataset_names() {
   static const std::vector<std::string> names = {
       "social-large", "social-small", "road-a", "road-b", "road-c", "mesh"};
@@ -54,38 +133,52 @@ const std::vector<std::string>& dataset_names() {
 Dataset load_dataset(const std::string& name) {
   Dataset d;
   d.name = name;
+  std::function<Graph()> build;
   if (name == "social-large") {
     d.paper_name = "twitter";
-    const NodeId n = pow2_at_least(scaled(65536));
-    d.graph = connected(
-        gen::rmat(n, static_cast<EdgeId>(n) * 14, kDatasetSeed ^ 0x1));
+    build = [] {
+      const NodeId n = pow2_at_least(scaled(65536));
+      return connected(
+          gen::rmat(n, static_cast<EdgeId>(n) * 14, kDatasetSeed ^ 0x1));
+    };
   } else if (name == "social-small") {
     d.paper_name = "livejournal";
-    d.graph = connected(
-        gen::preferential_attachment(scaled(40000), 3, kDatasetSeed ^ 0x2));
+    build = [] {
+      return connected(
+          gen::preferential_attachment(scaled(40000), 3, kDatasetSeed ^ 0x2));
+    };
   } else if (name == "road-a") {
     d.paper_name = "roads-CA";
     d.large_diameter = true;
-    d.graph = gen::road_like(scaled_side(220), scaled_side(220), 0.08, 0.02,
-                             kDatasetSeed ^ 0x3);
+    build = [] {
+      return gen::road_like(scaled_side(220), scaled_side(220), 0.08, 0.02,
+                            kDatasetSeed ^ 0x3);
+    };
   } else if (name == "road-b") {
     d.paper_name = "roads-PA";
     d.large_diameter = true;
-    d.graph = gen::road_like(scaled_side(180), scaled_side(180), 0.08, 0.02,
-                             kDatasetSeed ^ 0x4);
+    build = [] {
+      return gen::road_like(scaled_side(180), scaled_side(180), 0.08, 0.02,
+                            kDatasetSeed ^ 0x4);
+    };
   } else if (name == "road-c") {
     d.paper_name = "roads-TX";
     d.large_diameter = true;
-    d.graph = gen::road_like(scaled_side(200), scaled_side(200), 0.12, 0.02,
-                             kDatasetSeed ^ 0x5);
+    build = [] {
+      return gen::road_like(scaled_side(200), scaled_side(200), 0.12, 0.02,
+                            kDatasetSeed ^ 0x5);
+    };
   } else if (name == "mesh") {
     d.paper_name = "mesh1000";
     d.large_diameter = true;
-    const NodeId side = scaled_side(250);
-    d.graph = gen::grid(side, side);
+    build = [] {
+      const NodeId side = scaled_side(250);
+      return gen::grid(side, side);
+    };
   } else {
     GCLUS_CHECK(false, "unknown dataset: ", name);
   }
+  d.graph = cached_graph(name + "-s" + scale_tag(), build);
   return d;
 }
 
@@ -97,8 +190,10 @@ std::vector<Dataset> load_all_datasets() {
 }
 
 Graph make_expander_path(NodeId n) {
-  const auto tail = static_cast<NodeId>(std::sqrt(static_cast<double>(n)));
-  return gen::expander_with_path(n, tail, /*degree=*/4, kDatasetSeed ^ 0x6);
+  return cached_graph("expander-path-n" + std::to_string(n), [n] {
+    const auto tail = static_cast<NodeId>(std::sqrt(static_cast<double>(n)));
+    return gen::expander_with_path(n, tail, /*degree=*/4, kDatasetSeed ^ 0x6);
+  });
 }
 
 }  // namespace gclus::workloads

@@ -82,9 +82,9 @@ TEST(RandomTreeGenerator, IsTreeAndDeterministic) {
   EXPECT_EQ(a.num_edges(), 199u);
   EXPECT_TRUE(is_connected(a));
   const Graph b = random_tree(200, 5);
-  EXPECT_EQ(a.neighbor_array(), b.neighbor_array());
+  EXPECT_TRUE(testutil::same_csr(a, b));
   const Graph c = random_tree(200, 6);
-  EXPECT_NE(a.neighbor_array(), c.neighbor_array());
+  EXPECT_FALSE(testutil::same_csr(a, c));
 }
 
 TEST(ErdosRenyiGenerator, ExactEdgeCountNoDuplicates) {
@@ -97,7 +97,7 @@ TEST(ErdosRenyiGenerator, ExactEdgeCountNoDuplicates) {
 TEST(ErdosRenyiGenerator, Deterministic) {
   const Graph a = erdos_renyi(50, 100, 9);
   const Graph b = erdos_renyi(50, 100, 9);
-  EXPECT_EQ(a.neighbor_array(), b.neighbor_array());
+  EXPECT_TRUE(testutil::same_csr(a, b));
 }
 
 TEST(RmatGenerator, PowerLawSkewAndDeterminism) {
@@ -109,7 +109,7 @@ TEST(RmatGenerator, PowerLawSkewAndDeterminism) {
   // Heavy tail: the max degree far exceeds the average.
   EXPECT_GT(static_cast<double>(stats.max_degree), 5.0 * stats.avg_degree);
   const Graph h = rmat(1024, 8192, 21);
-  EXPECT_EQ(g.neighbor_array(), h.neighbor_array());
+  EXPECT_TRUE(testutil::same_csr(g, h));
 }
 
 TEST(RmatGeneratorDeathTest, RequiresPowerOfTwo) {
@@ -197,8 +197,7 @@ TEST(Generators, CorpusIsDeterministic) {
   const auto b = testutil::small_connected_corpus();
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].graph.neighbor_array(), b[i].graph.neighbor_array())
-        << a[i].name;
+    EXPECT_TRUE(testutil::same_csr(a[i].graph, b[i].graph)) << a[i].name;
   }
 }
 

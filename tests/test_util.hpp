@@ -3,6 +3,7 @@
 // implementations that the optimized kernels are checked against.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,14 @@
 #include "graph/graph.hpp"
 
 namespace gclus::testutil {
+
+/// Byte-identical CSR arrays — the equality the determinism and
+/// round-trip sweeps assert.  (Graph accessors return spans, which have
+/// no operator==, so tests compare through here.)
+inline bool same_csr(const Graph& a, const Graph& b) {
+  return std::ranges::equal(a.offsets(), b.offsets()) &&
+         std::ranges::equal(a.neighbor_array(), b.neighbor_array());
+}
 
 struct NamedGraph {
   std::string name;
