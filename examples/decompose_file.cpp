@@ -44,6 +44,8 @@
 #include "api/registry.hpp"
 #include "api/run_context.hpp"
 #include "api/workspace.hpp"
+#include "common/faultpoint.hpp"
+#include "common/status.hpp"
 #include "core/quotient.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
@@ -192,17 +194,29 @@ int main(int argc, char** argv) {
     std::printf("no input given; wrote demo graph to %s\n", path.c_str());
   }
 
+  // Unreadable or corrupt inputs are an *environment* problem, not a
+  // usage error: report the Status on one line and exit 2, distinct from
+  // the exit-1 flag/parameter mistakes above.
   const bool input_is_csr =
       format == "csr2" || (format == "auto" && io::is_csr_file(path));
-  Graph g = input_is_csr ? io::load_csr_file(path, load_opts)
-                         : io::read_edge_list_file(path);
+  StatusOr<Graph> loaded = input_is_csr ? io::load_csr(path, load_opts)
+                                        : io::load_edge_list(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "decompose_file: %s\n",
+                 loaded.status().to_string().c_str());
+    return 2;
+  }
+  Graph g = std::move(loaded).value();
   std::printf("loaded %s (%s%s): %u nodes, %llu edges\n", path.c_str(),
               input_is_csr ? "CSR v2" : "edge list",
               g.owns_storage() ? "" : ", mmap-backed", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()));
 
   if (!convert_out.empty()) {
-    io::write_csr_file(g, convert_out);
+    if (const Status st = io::write_csr(g, convert_out); !st.ok()) {
+      std::fprintf(stderr, "decompose_file: %s\n", st.to_string().c_str());
+      return 2;
+    }
     const auto info = io::probe_csr_file(convert_out);
     std::printf("wrote CSR v2 %s: %llu bytes, n=%llu, m=%llu half-edges\n",
                 convert_out.c_str(),
@@ -235,6 +249,12 @@ int main(int argc, char** argv) {
               c.validate(g) ? "" : "  [VALIDATION FAILED]");
   for (const auto& [key, value] : telemetry.events()) {
     std::printf("  telemetry %-28s %.6g\n", key.c_str(), value);
+  }
+  // Surfaced when GCLUS_FAULT is armed, so a fault-injection run shows
+  // exactly which points fired alongside the (still valid) output.
+  for (const auto& [name, count] : fault::triggered_counters()) {
+    std::printf("  fault     %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(count));
   }
 
   // Top clusters by size.

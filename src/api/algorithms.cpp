@@ -227,6 +227,20 @@ void emit_mr_metrics(RunContext& ctx, const mr::Engine& engine) {
   ctx.emit("mr.spill_runs", static_cast<double>(m.spill_runs));
   ctx.emit("mr.runs_merged", static_cast<double>(m.runs_merged));
   ctx.emit("mr.combiner_reduction", m.combiner_reduction());
+  // Degradation counters are emitted only when something actually went
+  // wrong, so healthy telemetry streams stay unchanged.
+  if (m.spill_fallback_runs > 0) {
+    ctx.emit("mr.spill_fallback_runs",
+             static_cast<double>(m.spill_fallback_runs));
+  }
+  if (m.spill_degraded_rounds > 0) {
+    ctx.emit("mr.spill_degraded_rounds",
+             static_cast<double>(m.spill_degraded_rounds));
+  }
+  if (m.spill_write_retries > 0) {
+    ctx.emit("mr.spill_write_retries",
+             static_cast<double>(m.spill_write_retries));
+  }
 }
 
 void add_mr(Registry& r, std::string name, std::string summary,

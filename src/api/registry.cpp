@@ -114,11 +114,20 @@ std::vector<std::string> Registry::names() const {
 
 Clustering Registry::run(const std::string& name, const Graph& g,
                          const AlgoParams& params, RunContext& ctx) const {
+  auto result = try_run(name, g, params, ctx);
+  GCLUS_CHECK(result.ok(), result.status().message());
+  return std::move(result).value();
+}
+
+StatusOr<Clustering> Registry::try_run(const std::string& name, const Graph& g,
+                                       const AlgoParams& params,
+                                       RunContext& ctx) const {
   const AlgoInfo* info = find(name);
   if (info == nullptr) {
     std::string known;
     for (const auto& n : names()) known += " " + n;
-    GCLUS_CHECK(false, "unknown algorithm '", name, "'; registered:", known);
+    return InvalidArgumentError("unknown algorithm '" + name +
+                                "'; registered:" + known);
   }
   for (const auto& [key, value] : params.entries()) {
     bool declared = false;
@@ -131,8 +140,9 @@ Clustering Registry::run(const std::string& name, const Graph& g,
     if (!declared) {
       std::string known;
       for (const ParamSpec& spec : info->params) known += " " + spec.key;
-      GCLUS_CHECK(false, "algorithm '", name, "' has no parameter '", key,
-                  "'; declared:", known);
+      return InvalidArgumentError("algorithm '" + name +
+                                  "' has no parameter '" + key +
+                                  "'; declared:" + known);
     }
   }
   return info->run(g, params, ctx);

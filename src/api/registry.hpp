@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "api/run_context.hpp"
+#include "common/status.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 
@@ -96,6 +97,16 @@ class Registry {
   /// adapter.  Aborts on unknown algorithm or unknown parameter keys.
   Clustering run(const std::string& name, const Graph& g,
                  const AlgoParams& params, RunContext& ctx) const;
+
+  /// Like run(), but selection errors — unknown algorithm, undeclared
+  /// parameter key — come back as kInvalidArgument instead of aborting,
+  /// so a serving caller can reject one bad request and keep going.
+  /// (Malformed parameter *values* still abort inside the adapter; the
+  /// schema declares keys, not value grammars.)
+  [[nodiscard]] StatusOr<Clustering> try_run(const std::string& name,
+                                             const Graph& g,
+                                             const AlgoParams& params,
+                                             RunContext& ctx) const;
 
  private:
   std::map<std::string, AlgoInfo> algos_;

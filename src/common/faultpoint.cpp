@@ -1,0 +1,263 @@
+#include "common/faultpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace gclus::fault {
+
+namespace {
+
+// The central declaration table.  Sorted; all_fault_points() is the
+// enumeration the fault-sweep suite iterates, so a new call site MUST add
+// its name here (evaluating an undeclared name aborts).
+constexpr const char* kFaultPoints[] = {
+    "cache.load",     // cached CSR v2 entry reads as corrupt
+    "cache.publish",  // fsync/rename of the published cache entry fails
+    "cache.write",    // cache temp-file write fails
+    "io.mmap",        // mmap of a CSR v2 / edge-list file fails
+    "io.open",        // opening a graph file for reading fails
+    "io.read",        // whole-file read fails
+    "io.write",       // CSR v2 write fails
+    "spill.flush",    // sealing (fflush) a spill partition file fails
+    "spill.mkdir",    // creating the spill directory fails
+    "spill.open",     // opening a partition run file fails
+    "spill.read",     // run refill short-reads (transient)
+    "spill.seek",     // seeking within a partition file fails
+    "spill.write",    // run append short-writes (transient)
+};
+
+struct PointState {
+  FaultSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t draws = 0;  // Bernoulli evaluations consumed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState, std::less<>> points;
+
+  Registry() {
+    for (const char* name : kFaultPoints) points.emplace(name, PointState{});
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a_str(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Parses one "name:spec" clause; false (with a stderr note) on bad syntax.
+bool parse_clause(std::string_view clause, Registry& reg) {
+  const std::size_t colon = clause.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view name = clause.substr(0, colon);
+  const std::string_view spec_text = clause.substr(colon + 1);
+  const auto it = reg.points.find(name);
+  if (it == reg.points.end()) {
+    std::fprintf(stderr,
+                 "GCLUS_FAULT: unknown fault point '%.*s' (see "
+                 "fault::all_fault_points()); ignored\n",
+                 static_cast<int>(name.size()), name.data());
+    return true;  // the clause itself was well-formed
+  }
+
+  FaultSpec spec;
+  if (spec_text == "once") {
+    spec = FaultSpec::once();
+  } else if (spec_text == "always") {
+    spec = FaultSpec::always();
+  } else if (spec_text.rfind("p=", 0) == 0) {
+    // "p=0.1" or "p=0.1,seed=S"
+    const std::string text(spec_text.substr(2));
+    char* end = nullptr;
+    const double p = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || p < 0.0 || p > 1.0) return false;
+    std::uint64_t seed = 0;
+    if (*end == ',') {
+      const std::string_view rest(end + 1);
+      if (rest.rfind("seed=", 0) != 0) return false;
+      const std::string seed_text(rest.substr(5));
+      char* send = nullptr;
+      seed = std::strtoull(seed_text.c_str(), &send, 10);
+      if (send == seed_text.c_str() || *send != '\0') return false;
+    } else if (*end != '\0') {
+      return false;
+    }
+    spec = FaultSpec::probability(p, seed);
+  } else {
+    const std::string text(spec_text);
+    char* end = nullptr;
+    const std::uint64_t n = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') return false;
+    spec = FaultSpec::first_n(n);
+  }
+  it->second.spec = spec;
+  return true;
+}
+
+/// Applies GCLUS_FAULT once, before the first arm()/should_fail().
+void apply_env(Registry& reg) {
+  const char* env = std::getenv("GCLUS_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  std::string_view text(env);
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    const std::string_view clause = text.substr(0, semi);
+    if (!clause.empty() && !parse_clause(clause, reg)) {
+      std::fprintf(stderr,
+                   "GCLUS_FAULT: malformed clause '%.*s' (expected "
+                   "name:once|always|N|p=P[,seed=S]); ignored\n",
+                   static_cast<int>(clause.size()), clause.data());
+    }
+    if (semi == std::string_view::npos) break;
+    text.remove_prefix(semi + 1);
+  }
+}
+
+Registry& configured_registry() {
+  static std::once_flag once;
+  Registry& reg = registry();
+  std::call_once(once, [&] {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    apply_env(reg);
+  });
+  return reg;
+}
+
+PointState& state_or_die(Registry& reg, std::string_view name) {
+  const auto it = reg.points.find(name);
+  GCLUS_CHECK(it != reg.points.end(), "fault point not declared: ", name,
+              " (add it to kFaultPoints in faultpoint.cpp)");
+  return it->second;
+}
+
+}  // namespace
+
+std::span<const char* const> all_fault_points() { return kFaultPoints; }
+
+bool is_registered(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.points.find(name) != reg.points.end();
+}
+
+void arm(std::string_view name, FaultSpec spec) {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  state_or_die(reg, name).spec = spec;
+}
+
+void disarm(std::string_view name) {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState& st = state_or_die(reg, name);
+  st.spec = FaultSpec::off();
+  st.draws = 0;
+}
+
+void disarm_all() {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, st] : reg.points) {
+    st.spec = FaultSpec::off();
+    st.draws = 0;
+  }
+}
+
+std::uint64_t hit_count(std::string_view name) {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return state_or_die(reg, name).hits;
+}
+
+std::uint64_t trigger_count(std::string_view name) {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return state_or_die(reg, name).triggers;
+}
+
+std::uint64_t total_triggers() {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t total = 0;
+  for (const auto& [name, st] : reg.points) total += st.triggers;
+  return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> triggered_counters() {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, st] : reg.points) {
+    if (st.triggers > 0) out.emplace_back(name, st.triggers);
+  }
+  return out;
+}
+
+void reset_counters() {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, st] : reg.points) {
+    st.hits = 0;
+    st.triggers = 0;
+    st.draws = 0;
+  }
+}
+
+bool should_fail(std::string_view name) {
+  Registry& reg = configured_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState& st = state_or_die(reg, name);
+  ++st.hits;
+  bool fire = false;
+  switch (st.spec.mode) {
+    case FaultSpec::Mode::kOff:
+      break;
+    case FaultSpec::Mode::kFirstN:
+      if (st.spec.n > 0) {
+        --st.spec.n;
+        fire = true;
+      }
+      break;
+    case FaultSpec::Mode::kAlways:
+      fire = true;
+      break;
+    case FaultSpec::Mode::kProbability: {
+      // Per-point stream keyed on (seed, name): counter-mode splitmix64,
+      // so the draw sequence is a pure function of the spec, independent
+      // of what other points do.
+      const std::uint64_t key = st.spec.seed ^ fnv1a_str(name);
+      const std::uint64_t draw = splitmix64(key + st.draws++);
+      const double u =
+          static_cast<double>(draw >> 11) * 0x1.0p-53;  // [0, 1)
+      fire = u < st.spec.p;
+      break;
+    }
+  }
+  if (fire) ++st.triggers;
+  return fire;
+}
+
+}  // namespace gclus::fault

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the I/O-facing layers.
+//
+// A *fault point* is a named site on a failure path — "spill.write",
+// "io.mmap", "cache.publish" — that can be forced to fail on demand.  The
+// call site asks GCLUS_FAULTPOINT("name") whether to simulate a failure
+// and, when told to, synthesizes the same error Status (or short
+// read/write) the real environment would produce, so the recovery code
+// under test is the production recovery code, not a test double.
+//
+// Every point is declared once in the central table (kFaultPoints in
+// faultpoint.cpp, enumerable via all_fault_points()), which is what lets
+// the fault-sweep suite iterate *every* point deterministically instead
+// of only the ones a given run happened to execute.  Evaluating an
+// undeclared name is a contract violation (GCLUS_CHECK) so the table
+// cannot silently drift from the call sites.
+//
+// Arming:
+//   * programmatically: fault::arm("spill.write", fault::FaultSpec::once())
+//   * from the environment: GCLUS_FAULT=spill.write:once
+//         GCLUS_FAULT=io.mmap:3             first 3 evaluations fail
+//         GCLUS_FAULT=cache.publish:always  every evaluation fails
+//         GCLUS_FAULT=spill.write:p=0.1,seed=7   Bernoulli, derived per
+//                                           point from (seed, name) so two
+//                                           points never share a stream
+//     Multiple specs separated by ';'.  A malformed spec is reported to
+//     stderr once and ignored — fault injection must never be the thing
+//     that crashes the process.
+//
+// Evaluations and triggers are counted per point (hit_count /
+// trigger_count), so tests and CI can assert a sweep actually fired
+// (satisfying "the sweep can't silently become a no-op"), and callers can
+// surface the counters through TelemetrySink-style channels.
+//
+// All functions are thread-safe; counters are exact under concurrency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gclus::fault {
+
+struct FaultSpec {
+  enum class Mode : std::uint8_t {
+    kOff,          ///< never fires
+    kFirstN,       ///< fires on the first `n` evaluations, then never
+    kAlways,       ///< fires on every evaluation
+    kProbability,  ///< fires with probability `p`, deterministic in `seed`
+  };
+
+  Mode mode = Mode::kOff;
+  std::uint64_t n = 0;
+  double p = 0.0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] static FaultSpec off() { return {}; }
+  [[nodiscard]] static FaultSpec once() { return first_n(1); }
+  [[nodiscard]] static FaultSpec first_n(std::uint64_t n) {
+    return {Mode::kFirstN, n, 0.0, 0};
+  }
+  [[nodiscard]] static FaultSpec always() {
+    return {Mode::kAlways, 0, 0.0, 0};
+  }
+  [[nodiscard]] static FaultSpec probability(double p, std::uint64_t seed) {
+    return {Mode::kProbability, 0, p, seed};
+  }
+};
+
+/// Every fault point compiled into the library, sorted, no duplicates.
+[[nodiscard]] std::span<const char* const> all_fault_points();
+
+/// True iff `name` is in the compiled-in table.
+[[nodiscard]] bool is_registered(std::string_view name);
+
+/// Arms `name` (replacing any prior spec).  Unknown names abort: arming a
+/// typo must not silently test nothing.
+void arm(std::string_view name, FaultSpec spec);
+
+/// Disarms one point / every point.  Counters are unaffected.
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Evaluations of / failures injected at `name` since process start (or
+/// the last reset_counters()).
+[[nodiscard]] std::uint64_t hit_count(std::string_view name);
+[[nodiscard]] std::uint64_t trigger_count(std::string_view name);
+
+/// Total failures injected across all points.
+[[nodiscard]] std::uint64_t total_triggers();
+
+/// Snapshot of (name, trigger_count) for every point with at least one
+/// trigger — the shape TelemetrySink consumers want.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+triggered_counters();
+
+void reset_counters();
+
+/// The evaluation primitive behind GCLUS_FAULTPOINT: counts the hit,
+/// applies the armed spec (folding in GCLUS_FAULT on first use), counts
+/// the trigger.  Near-zero cost while nothing is armed.
+[[nodiscard]] bool should_fail(std::string_view name);
+
+}  // namespace gclus::fault
+
+/// True when the named fault point should simulate a failure here.
+#define GCLUS_FAULTPOINT(name) ::gclus::fault::should_fail(name)

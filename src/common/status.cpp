@@ -1,0 +1,92 @@
+#include "common/status.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace gclus {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      break;
+  }
+  return "UNAVAILABLE";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status status_from_errno(int err, std::string_view context) {
+  std::string msg(context);
+  msg += ": ";
+  msg += std::strerror(err);
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return UnavailableError(std::move(msg));
+    case ENOSPC:
+    case ENOMEM:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return ResourceExhaustedError(std::move(msg));
+    default:
+      return IoError(std::move(msg));
+  }
+}
+
+const RetryPolicy& io_retry_policy() {
+  static const RetryPolicy policy = [] {
+    RetryPolicy p;
+    if (const char* env = std::getenv("GCLUS_IO_RETRIES")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1 && v <= 100) {
+        p.attempts = static_cast<int>(v);
+      }
+    }
+    if (const char* env = std::getenv("GCLUS_IO_BACKOFF_US")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0 && v <= 10'000'000) {
+        p.initial_backoff_us = static_cast<std::uint32_t>(v);
+      }
+    }
+    return p;
+  }();
+  return policy;
+}
+
+namespace detail {
+
+void backoff_sleep_us(std::uint32_t us) {
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace detail
+
+}  // namespace gclus

@@ -23,6 +23,7 @@
 #endif
 
 #include "common/check.hpp"
+#include "common/faultpoint.hpp"
 #include "graph/builder.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
@@ -142,7 +143,12 @@ class MappedFile {
  public:
   static std::shared_ptr<MappedFile> map(const std::string& path) {
 #ifdef GCLUS_HAS_MMAP
-    const int fd = ::open(path.c_str(), O_RDONLY);
+    // An injected mmap failure behaves exactly like a real one: callers
+    // in kAuto mode fall back to the read() path (byte-identical result),
+    // kMmap callers report it.
+    if (GCLUS_FAULTPOINT("io.mmap")) return nullptr;
+    const int fd =
+        GCLUS_FAULTPOINT("io.open") ? -1 : ::open(path.c_str(), O_RDONLY);
     if (fd < 0) return nullptr;
     struct stat st{};
     if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
@@ -184,18 +190,22 @@ class MappedFile {
   std::size_t size_ = 0;
 };
 
-/// Reads a whole file into memory; empty optional if it cannot be opened.
-std::optional<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+/// Reads a whole file into memory.
+StatusOr<std::vector<std::byte>> read_file_bytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return std::nullopt;
+  if (GCLUS_FAULTPOINT("io.open") || !in.good()) {
+    return IoError("cannot open file");
+  }
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
-  if (ec) return std::nullopt;
+  if (ec) return IoError("cannot stat file: " + ec.message());
   std::vector<std::byte> bytes(static_cast<std::size_t>(size));
   if (size > 0) {
     in.read(reinterpret_cast<char*>(bytes.data()),
             static_cast<std::streamsize>(size));
-    if (!in.good()) return std::nullopt;
+    if (GCLUS_FAULTPOINT("io.read") || !in.good()) {
+      return IoError("read failed");
+    }
   }
   return bytes;
 }
@@ -380,19 +390,35 @@ Graph parse_edge_list(std::string_view text, ThreadPool& pool) {
   return b.build(pool);
 }
 
-Graph read_edge_list_file(const std::string& path, ThreadPool& pool) {
+StatusOr<Graph> load_edge_list(const std::string& path, ThreadPool& pool) {
   if (const auto mapped = MappedFile::map(path)) {
     const std::string_view text(reinterpret_cast<const char*>(mapped->data()),
                                 mapped->size());
     return parse_edge_list(text, pool);
   }
-  // No mmap (unsupported platform, or an empty/special file): slurp.
+  // No mmap (unsupported platform, injected "io.mmap" fault, or an
+  // empty/special file): slurp.  Byte-identical to the mapped path.
   std::ifstream in(path, std::ios::binary);
-  GCLUS_CHECK(in.good(), "cannot open ", path.c_str());
+  if (GCLUS_FAULTPOINT("io.open") || !in.good()) {
+    return IoError("cannot open " + path);
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (GCLUS_FAULTPOINT("io.read") || in.bad()) {
+    return IoError("read failed: " + path);
+  }
   const std::string text = std::move(buf).str();
   return parse_edge_list(text, pool);
+}
+
+StatusOr<Graph> load_edge_list(const std::string& path) {
+  return load_edge_list(path, ThreadPool::global());
+}
+
+Graph read_edge_list_file(const std::string& path, ThreadPool& pool) {
+  auto loaded = load_edge_list(path, pool);
+  GCLUS_CHECK(loaded.ok(), loaded.status().to_string());
+  return std::move(loaded).value();
 }
 
 Graph read_edge_list_file(const std::string& path) {
@@ -485,13 +511,14 @@ struct Csr2Header {
 
 /// Core writer shared by the weighted and unweighted entry points.
 /// `weighted` is explicit (not inferred from the span, whose data pointer
-/// is null for edgeless graphs).  Returns false on any I/O failure; the
+/// is null for edgeless graphs).  kIoError on any write failure; the
 /// public write_csr_file wrappers turn that into a GCLUS_CHECK abort, the
 /// best-effort consumers (try_write_csr_file, the dataset cache) don't.
-[[nodiscard]] bool write_csr2(const std::string& path,
-                              std::span<const EdgeId> offsets,
-                              std::span<const NodeId> neighbors, bool weighted,
-                              std::span<const Weight> weights) {
+[[nodiscard]] Status write_csr2(const std::string& path,
+                                std::span<const EdgeId> offsets,
+                                std::span<const NodeId> neighbors,
+                                bool weighted,
+                                std::span<const Weight> weights) {
   Csr2Header h;
   h.num_nodes = offsets.size() - 1;
   h.num_half_edges = neighbors.size();
@@ -512,7 +539,9 @@ struct Csr2Header {
   }
 
   std::ofstream out(path, std::ios::binary);
-  if (!out.good()) return false;
+  if (GCLUS_FAULTPOINT("io.write") || !out.good()) {
+    return IoError("cannot open for writing: " + path);
+  }
   put_le(out, kCsr2Magic);
   put_le(out, kCsr2Version);
   put_le(out, h.flags);
@@ -532,75 +561,96 @@ struct Csr2Header {
     write_zeros(out, h.weights_pos - neighbors_end);
     write_array_le(out, weights.data(), weights.size());
   }
-  return out.good();
+  if (!out.good()) {
+    // ofstream hides errno, so disk-full vs hard error is not
+    // distinguishable here; both are terminal for this write.
+    return IoError("write failed (disk full or I/O error): " + path);
+  }
+  return OkStatus();
 }
 
 /// Parses and sanity-checks a CSR v2 header against the buffer size.
-/// Returns an error description, or nullptr on success.
-const char* parse_csr2_header(const std::byte* data, std::uint64_t size,
-                              Csr2Header& h) {
-  if (size < kCsr2HeaderBytes) return "file shorter than a CSR v2 header";
-  if (read_le_at<std::uint64_t>(data) != kCsr2Magic) {
-    return "not a gclus CSR v2 file (bad magic)";
+/// kInvalidArgument: the bytes don't claim to be a (supported) CSR v2
+/// file; kDataLoss: they do, but the structure is inconsistent.
+Status parse_csr2_header(const std::byte* data, std::uint64_t size,
+                         Csr2Header& h) {
+  if (size < 8 || read_le_at<std::uint64_t>(data) != kCsr2Magic) {
+    return InvalidArgumentError("not a gclus CSR v2 file (bad magic)");
+  }
+  if (size < kCsr2HeaderBytes) {
+    return DataLossError("file shorter than a CSR v2 header");
   }
   if (read_le_at<std::uint32_t>(data + 8) != kCsr2Version) {
-    return "unsupported CSR version";
+    return InvalidArgumentError("unsupported CSR version");
   }
   h.flags = read_le_at<std::uint32_t>(data + 12);
-  if ((h.flags & ~kCsr2KnownFlags) != 0) return "unknown CSR v2 flags";
+  if ((h.flags & ~kCsr2KnownFlags) != 0) {
+    return InvalidArgumentError("unknown CSR v2 flags");
+  }
   h.num_nodes = read_le_at<std::uint64_t>(data + 16);
   h.num_half_edges = read_le_at<std::uint64_t>(data + 24);
   h.offsets_pos = read_le_at<std::uint64_t>(data + 32);
   h.neighbors_pos = read_le_at<std::uint64_t>(data + 40);
   h.weights_pos = read_le_at<std::uint64_t>(data + 48);
   h.checksum = read_le_at<std::uint64_t>(data + 56);
+  if (read_le_at<std::uint64_t>(data + 64) != 0) {
+    // The reserved field is not covered by the payload checksum, so a
+    // flipped bit here would otherwise load silently.
+    return InvalidArgumentError("nonzero reserved header field");
+  }
 
   if (h.num_nodes > std::numeric_limits<NodeId>::max()) {
-    return "node count exceeds NodeId range";
+    return DataLossError("node count exceeds NodeId range");
   }
   // Section bounds, written to be overflow-safe: divide before multiply.
   const std::uint64_t num_offsets = h.num_nodes + 1;
   if (h.offsets_pos < kCsr2HeaderBytes || h.offsets_pos % kCsr2Align != 0 ||
       h.offsets_pos > size || num_offsets > (size - h.offsets_pos) / 8) {
-    return "truncated CSR v2 file (offsets section out of bounds)";
+    return DataLossError("truncated CSR v2 file (offsets section out of "
+                         "bounds)");
   }
   if (h.neighbors_pos < h.offsets_pos + num_offsets * 8 ||
       h.neighbors_pos % kCsr2Align != 0 || h.neighbors_pos > size ||
       h.num_half_edges > (size - h.neighbors_pos) / 4) {
-    return "truncated CSR v2 file (neighbors section out of bounds)";
+    return DataLossError("truncated CSR v2 file (neighbors section out of "
+                         "bounds)");
   }
   if ((h.flags & kCsr2FlagWeights) != 0) {
     if (h.weights_pos < h.neighbors_pos + h.num_half_edges * 4 ||
         h.weights_pos % kCsr2Align != 0 || h.weights_pos > size ||
         h.num_half_edges > (size - h.weights_pos) / 8) {
-      return "truncated CSR v2 file (weights section out of bounds)";
+      return DataLossError("truncated CSR v2 file (weights section out of "
+                           "bounds)");
     }
   } else if (h.weights_pos != 0) {
-    return "weights position set without the weights flag";
+    return DataLossError("weights position set without the weights flag");
   }
-  return nullptr;
+  return OkStatus();
 }
 
 /// Structural validation of decoded arrays: offsets monotone from 0 to m,
 /// every neighbor id in range.  Guards algorithms against out-of-bounds
 /// indexing on corrupted (but checksum-consistent, e.g. maliciously
 /// crafted) files.
-const char* validate_csr_arrays(std::span<const EdgeId> offsets,
-                                std::span<const NodeId> neighbors) {
+Status validate_csr_arrays(std::span<const EdgeId> offsets,
+                           std::span<const NodeId> neighbors) {
   if (offsets.empty() || offsets.front() != 0 ||
       offsets.back() != neighbors.size()) {
-    return "corrupt CSR v2 payload (offset endpoints)";
+    return DataLossError("corrupt CSR v2 payload (offset endpoints)");
   }
   for (std::size_t u = 1; u < offsets.size(); ++u) {
     if (offsets[u] < offsets[u - 1]) {
-      return "corrupt CSR v2 payload (offsets not monotone)";
+      return DataLossError("corrupt CSR v2 payload (offsets not monotone)");
     }
   }
   const auto n = static_cast<NodeId>(offsets.size() - 1);
   for (const NodeId v : neighbors) {
-    if (v >= n) return "corrupt CSR v2 payload (neighbor id out of range)";
+    if (v >= n) {
+      return DataLossError("corrupt CSR v2 payload (neighbor id out of "
+                           "range)");
+    }
   }
-  return nullptr;
+  return OkStatus();
 }
 
 struct LoadedCsr2 {
@@ -628,9 +678,9 @@ std::vector<T> decode_array_le(const std::byte* p, std::uint64_t count) {
 }
 
 /// Loads + validates a CSR v2 file into spans (mapped) or vectors
-/// (copied).  Returns an error description, or nullptr on success.
-const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
-                      LoadedCsr2& out) {
+/// (copied).
+Status load_csr2(const std::string& path, const CsrLoadOptions& opts,
+                 LoadedCsr2& out) {
   // mmap zero-copy requires a little-endian host (the arrays are used in
   // place); BE hosts decode through the copy path.
   const bool can_mmap = mmap_supported() && kLittleEndian;
@@ -640,7 +690,10 @@ const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
       use_mmap = can_mmap;
       break;
     case CsrLoadMode::kMmap:
-      if (!can_mmap) return "mmap loading not supported on this platform";
+      if (!can_mmap) {
+        return InvalidArgumentError(
+            "mmap loading not supported on this platform");
+      }
       use_mmap = true;
       break;
     case CsrLoadMode::kCopy:
@@ -653,7 +706,7 @@ const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
   if (use_mmap) {
     out.mapping = MappedFile::map(path);
     if (out.mapping == nullptr) {
-      if (opts.mode == CsrLoadMode::kMmap) return "cannot mmap file";
+      if (opts.mode == CsrLoadMode::kMmap) return IoError("cannot mmap file");
       use_mmap = false;  // fall back to read()
     } else {
       data = out.mapping->data();
@@ -661,15 +714,13 @@ const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
     }
   }
   if (!use_mmap) {
-    auto read = read_file_bytes(path);
-    if (!read.has_value()) return "cannot open file";
-    bytes = std::move(*read);
+    GCLUS_ASSIGN_OR_RETURN(bytes, read_file_bytes(path));
     data = bytes.data();
     size = bytes.size();
   }
 
   Csr2Header& h = out.header;
-  if (const char* err = parse_csr2_header(data, size, h)) return err;
+  GCLUS_RETURN_IF_ERROR(parse_csr2_header(data, size, h));
   const bool weighted = (h.flags & kCsr2FlagWeights) != 0;
   const std::uint64_t num_offsets = h.num_nodes + 1;
 
@@ -682,7 +733,7 @@ const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
       sum = fnv1a(sum, data + h.weights_pos,
                   static_cast<std::size_t>(h.num_half_edges) * 8);
     }
-    if (sum != h.checksum) return "CSR v2 checksum mismatch";
+    if (sum != h.checksum) return DataLossError("CSR v2 checksum mismatch");
   }
 
   if (use_mmap) {
@@ -710,11 +761,9 @@ const char* load_csr2(const std::string& path, const CsrLoadOptions& opts,
   }
 
   if (opts.verify) {
-    if (const char* err = validate_csr_arrays(out.offsets, out.neighbors)) {
-      return err;
-    }
+    GCLUS_RETURN_IF_ERROR(validate_csr_arrays(out.offsets, out.neighbors));
   }
-  return nullptr;
+  return OkStatus();
 }
 
 }  // namespace
@@ -727,18 +776,12 @@ bool mmap_supported() {
 #endif
 }
 
-void write_csr_file(const Graph& g, const std::string& path) {
-  GCLUS_CHECK(write_csr2(path, g.offsets(), g.neighbor_array(),
-                         /*weighted=*/false, {}),
-              "cannot write CSR v2 file: ", path.c_str());
-}
-
-bool try_write_csr_file(const Graph& g, const std::string& path) {
+Status write_csr(const Graph& g, const std::string& path) {
   return write_csr2(path, g.offsets(), g.neighbor_array(),
                     /*weighted=*/false, {});
 }
 
-void write_csr_file(const WeightedGraph& g, const std::string& path) {
+Status write_csr(const WeightedGraph& g, const std::string& path) {
   // Split the interleaved adjacency into the on-disk section pair.
   const auto adj = g.adjacency();
   std::vector<NodeId> neighbors(adj.size());
@@ -747,18 +790,16 @@ void write_csr_file(const WeightedGraph& g, const std::string& path) {
     neighbors[i] = adj[i].to;
     weights[i] = adj[i].w;
   }
-  GCLUS_CHECK(
-      write_csr2(path, g.offsets(), neighbors, /*weighted=*/true, weights),
-      "cannot write CSR v2 file: ", path.c_str());
+  return write_csr2(path, g.offsets(), neighbors, /*weighted=*/true, weights);
 }
 
-Graph load_csr_file(const std::string& path, const CsrLoadOptions& opts) {
+StatusOr<Graph> load_csr(const std::string& path, const CsrLoadOptions& opts) {
   LoadedCsr2 loaded;
-  const char* err = load_csr2(path, opts, loaded);
-  GCLUS_CHECK(err == nullptr, err == nullptr ? "" : err, ": ", path.c_str());
-  GCLUS_CHECK((loaded.header.flags & kCsr2FlagWeights) == 0,
-              "weighted CSR v2 file (use load_weighted_csr_file): ",
-              path.c_str());
+  GCLUS_RETURN_IF_ERROR(load_csr2(path, opts, loaded).with_context(path));
+  if ((loaded.header.flags & kCsr2FlagWeights) != 0) {
+    return InvalidArgumentError(
+        path + ": weighted CSR v2 file (use load_weighted_csr_file)");
+  }
   if (loaded.mapping != nullptr) {
     return Graph(loaded.offsets, loaded.neighbors, std::move(loaded.mapping));
   }
@@ -766,34 +807,57 @@ Graph load_csr_file(const std::string& path, const CsrLoadOptions& opts) {
                std::move(loaded.owned_neighbors));
 }
 
-std::optional<Graph> try_load_csr_file(const std::string& path,
-                                       const CsrLoadOptions& opts) {
-  LoadedCsr2 loaded;
-  if (load_csr2(path, opts, loaded) != nullptr) return std::nullopt;
-  if ((loaded.header.flags & kCsr2FlagWeights) != 0) return std::nullopt;
-  if (loaded.mapping != nullptr) {
-    return Graph(loaded.offsets, loaded.neighbors, std::move(loaded.mapping));
-  }
-  return Graph(std::move(loaded.owned_offsets),
-               std::move(loaded.owned_neighbors));
-}
-
-WeightedGraph load_weighted_csr_file(const std::string& path,
-                                     const CsrLoadOptions& opts) {
+StatusOr<WeightedGraph> load_weighted_csr(const std::string& path,
+                                          const CsrLoadOptions& opts) {
   // Weighted graphs interleave (to, w) in memory, so loading always
   // materializes; map the file read-only all the same (kAuto) to skip the
   // intermediate buffer.
   LoadedCsr2 loaded;
-  const char* err = load_csr2(path, opts, loaded);
-  GCLUS_CHECK(err == nullptr, err == nullptr ? "" : err, ": ", path.c_str());
-  GCLUS_CHECK((loaded.header.flags & kCsr2FlagWeights) != 0,
-              "unweighted CSR v2 file (use load_csr_file): ", path.c_str());
+  GCLUS_RETURN_IF_ERROR(load_csr2(path, opts, loaded).with_context(path));
+  if ((loaded.header.flags & kCsr2FlagWeights) == 0) {
+    return InvalidArgumentError(
+        path + ": unweighted CSR v2 file (use load_csr_file)");
+  }
   std::vector<EdgeId> offsets(loaded.offsets.begin(), loaded.offsets.end());
   std::vector<WeightedHalfEdge> adj(loaded.neighbors.size());
   for (std::size_t i = 0; i < adj.size(); ++i) {
     adj[i] = {loaded.neighbors[i], loaded.weights[i]};
   }
   return WeightedGraph::from_csr(std::move(offsets), std::move(adj));
+}
+
+void write_csr_file(const Graph& g, const std::string& path) {
+  const Status st = write_csr(g, path);
+  GCLUS_CHECK(st.ok(), "cannot write CSR v2 file: ", st.to_string());
+}
+
+void write_csr_file(const WeightedGraph& g, const std::string& path) {
+  const Status st = write_csr(g, path);
+  GCLUS_CHECK(st.ok(), "cannot write CSR v2 file: ", st.to_string());
+}
+
+bool try_write_csr_file(const Graph& g, const std::string& path) {
+  return write_csr(g, path).ok();
+}
+
+Graph load_csr_file(const std::string& path, const CsrLoadOptions& opts) {
+  auto loaded = load_csr(path, opts);
+  GCLUS_CHECK(loaded.ok(), loaded.status().to_string());
+  return std::move(loaded).value();
+}
+
+std::optional<Graph> try_load_csr_file(const std::string& path,
+                                       const CsrLoadOptions& opts) {
+  auto loaded = load_csr(path, opts);
+  if (!loaded.ok()) return std::nullopt;
+  return std::move(loaded).value();
+}
+
+WeightedGraph load_weighted_csr_file(const std::string& path,
+                                     const CsrLoadOptions& opts) {
+  auto loaded = load_weighted_csr(path, opts);
+  GCLUS_CHECK(loaded.ok(), loaded.status().to_string());
+  return std::move(loaded).value();
 }
 
 bool is_csr_file(const std::string& path) {

@@ -36,6 +36,17 @@
 //   ...           zero padding to offsets_pos
 //   sections: offsets (n+1)*8B, neighbors m*4B, weights m*8B, each start
 //   aligned to 64 bytes.
+// Error handling: the `load_*`/`write_*` Status functions are the
+// recoverable core — open/validation/write failures come back as a
+// Status (kInvalidArgument: not a CSR v2 file; kDataLoss: truncated or
+// checksum-mismatched; kIoError: the environment failed) instead of
+// aborting, so a long-lived caller can reject one bad file and keep
+// serving.  The historical abort-on-error entry points (load_csr_file,
+// write_csr_file, ...) and the optional-returning try_* variants are thin
+// wrappers over them.  Fault points "io.open", "io.mmap", "io.read",
+// "io.write" (common/faultpoint.hpp) cover every environmental failure
+// here; an injected "io.mmap" failure under CsrLoadMode::kAuto degrades
+// to the read() path with byte-identical results.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +55,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/status.hpp"
 #include "graph/graph.hpp"
 #include "graph/weighted.hpp"
 
@@ -70,7 +82,13 @@ namespace gclus::io {
 [[nodiscard]] Graph parse_edge_list(std::string_view text, ThreadPool& pool);
 
 /// Reads an edge-list file through parse_edge_list (mmap-ing the text when
-/// possible).  The one-argument form uses the process-global pool.
+/// possible); kIoError when the file cannot be opened or read.  The
+/// one-argument form uses the process-global pool.
+[[nodiscard]] StatusOr<Graph> load_edge_list(const std::string& path);
+[[nodiscard]] StatusOr<Graph> load_edge_list(const std::string& path,
+                                             ThreadPool& pool);
+
+/// Abort-on-error wrappers over load_edge_list.
 [[nodiscard]] Graph read_edge_list_file(const std::string& path);
 [[nodiscard]] Graph read_edge_list_file(const std::string& path,
                                         ThreadPool& pool);
@@ -112,32 +130,43 @@ struct Csr2Info {
   std::uint64_t file_bytes = 0;
 };
 
-void write_csr_file(const Graph& g, const std::string& path);
-void write_csr_file(const WeightedGraph& g, const std::string& path);
-
-/// Non-aborting variant for best-effort writers (the dataset cache):
-/// false on any I/O failure (unwritable directory, disk full) instead of
-/// aborting.  A false return may leave a partial file behind; partial
-/// files never validate (checksum), so readers treat them as absent.
-[[nodiscard]] bool try_write_csr_file(const Graph& g, const std::string& path);
+/// Writes a CSR v2 file; kIoError on any write failure (unwritable
+/// directory, disk full).  A failed write may leave a partial file
+/// behind; partial files never validate (checksum), so readers treat
+/// them as absent.
+[[nodiscard]] Status write_csr(const Graph& g, const std::string& path);
+[[nodiscard]] Status write_csr(const WeightedGraph& g,
+                               const std::string& path);
 
 /// Loads an unweighted CSR v2 file.  In mmap mode the returned Graph views
 /// the mapped sections in place (Graph::owns_storage() == false) and the
 /// mapping is pinned for the graph's lifetime — the file may be unlinked
-/// afterwards.  Aborts (GCLUS_CHECK) on malformed, truncated, weighted, or
-/// checksum-mismatched input.
-[[nodiscard]] Graph load_csr_file(const std::string& path,
-                                  const CsrLoadOptions& opts = {});
-
-/// Non-aborting variant for best-effort consumers (the dataset cache):
-/// nullopt on any open/validation failure instead of aborting.
-[[nodiscard]] std::optional<Graph> try_load_csr_file(
-    const std::string& path, const CsrLoadOptions& opts = {});
+/// afterwards.  Errors: kInvalidArgument (not CSR v2 / unknown flags /
+/// weighted file), kDataLoss (truncated, checksum mismatch, corrupt
+/// payload), kIoError (cannot open / mmap).
+[[nodiscard]] StatusOr<Graph> load_csr(const std::string& path,
+                                       const CsrLoadOptions& opts = {});
 
 /// Loads a weighted CSR v2 file.  Always materializes (the interleaved
 /// in-memory adjacency differs from the split on-disk sections), so there
-/// is no mmap storage mode for weighted graphs.
+/// is no mmap storage mode for weighted graphs.  Same error codes as
+/// load_csr.
+[[nodiscard]] StatusOr<WeightedGraph> load_weighted_csr(
+    const std::string& path, const CsrLoadOptions& opts = {});
+
+/// Abort-on-error wrappers over write_csr / load_csr /
+/// load_weighted_csr, for batch callers where any failure is terminal.
+void write_csr_file(const Graph& g, const std::string& path);
+void write_csr_file(const WeightedGraph& g, const std::string& path);
+[[nodiscard]] Graph load_csr_file(const std::string& path,
+                                  const CsrLoadOptions& opts = {});
 [[nodiscard]] WeightedGraph load_weighted_csr_file(
+    const std::string& path, const CsrLoadOptions& opts = {});
+
+/// Optional-returning wrappers for best-effort consumers that only need
+/// success/failure, not the error detail.
+[[nodiscard]] bool try_write_csr_file(const Graph& g, const std::string& path);
+[[nodiscard]] std::optional<Graph> try_load_csr_file(
     const std::string& path, const CsrLoadOptions& opts = {});
 
 /// True if `path` exists and starts with the CSR v2 magic.

@@ -83,6 +83,14 @@ struct Config {
   /// creates (and removes) a unique per-round subdirectory underneath.
   std::string spill_dir;
 
+  /// Second-chance spill directory tried when the primary one fails
+  /// (unwritable, disk full).  Empty = none; engines left empty inherit
+  /// GCLUS_MR_SPILL_FALLBACK_DIR.  When the fallback also fails, the
+  /// engine stops spilling and keeps the round's shuffle in memory — the
+  /// output is identical, only the memory bound is lost (recorded in
+  /// Metrics::spill_degraded_rounds).
+  std::string spill_fallback_dir;
+
   /// Abort if the map phase ever buffers more than the spill budget
   /// allows (plus the unavoidable one-record-per-worker slack).  Set by
   /// GCLUS_MR_SPILL_STRICT=1 for engines that don't set it explicitly.
@@ -117,6 +125,20 @@ struct Metrics {
   /// Sorted runs (in-memory leftovers + spilled) consumed by reduce-phase
   /// merges.
   std::uint64_t runs_merged = 0;
+
+  // --- Spill degradation accounting (see Config::spill_fallback_dir). ---
+
+  /// Runs that landed in the fallback spill directory after the primary
+  /// one failed.
+  std::uint64_t spill_fallback_runs = 0;
+
+  /// Rounds that gave up on spilling entirely and held the shuffle in
+  /// memory.  Nonzero means the memory bound was not honoured — results
+  /// are still exact.
+  std::uint64_t spill_degraded_rounds = 0;
+
+  /// Transient spill-write errors recovered by retry-with-backoff.
+  std::uint64_t spill_write_retries = 0;
 
   /// Pairs entering / leaving mapper-side combiners; in/out is the
   /// combiner's shuffle-volume reduction factor.

@@ -25,6 +25,11 @@ Config apply_env_overrides(Config config) {
       config.spill_strict = std::strcmp(env, "1") == 0;
     }
   }
+  if (config.spill_fallback_dir.empty()) {
+    if (const char* env = std::getenv("GCLUS_MR_SPILL_FALLBACK_DIR")) {
+      config.spill_fallback_dir = env;
+    }
+  }
   return config;
 }
 

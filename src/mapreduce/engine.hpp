@@ -30,8 +30,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -39,6 +41,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/status.hpp"
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -107,6 +111,16 @@ class Engine {
                                            std::move(reduce), NoCombiner{});
   }
 
+  /// Status-returning variant of round() for long-lived callers.
+  template <typename K, typename V, typename OutK, typename OutV,
+            typename Reduce>
+  StatusOr<std::vector<std::pair<OutK, OutV>>> try_round(
+      std::vector<std::pair<K, V>> input, Reduce reduce) {
+    return try_round_combine<K, V, OutK, OutV>(std::move(input),
+                                               std::move(reduce),
+                                               NoCombiner{});
+  }
+
   /// Executes one MR round with a mapper-side combiner.
   ///
   /// `Combine` is an associative, commutative fold `V(const V&, const V&)`
@@ -120,6 +134,26 @@ class Engine {
   template <typename K, typename V, typename OutK, typename OutV,
             typename Reduce, typename Combine>
   std::vector<std::pair<OutK, OutV>> round_combine(
+      std::vector<std::pair<K, V>> input, Reduce reduce, Combine combine) {
+    auto result = try_round_combine<K, V, OutK, OutV>(
+        std::move(input), std::move(reduce), std::move(combine));
+    GCLUS_CHECK(result.ok(), "MR round failed: ", result.status().to_string());
+    return std::move(result).value();
+  }
+
+  /// The Status-returning core of round_combine.  Spill failures degrade
+  /// rather than fail: a run that cannot be appended to the primary spill
+  /// directory is retried against Config::spill_fallback_dir (when set),
+  /// and if that also fails the engine stops spilling and keeps the rest
+  /// of the round's shuffle in memory — the output is byte-identical
+  /// either way (the (key, pos) merge order and the combiner contract are
+  /// independent of run placement).  Failures that *lose already-spilled
+  /// data* — a sealed file that cannot be flushed, a run file truncated
+  /// or unreadable during the reduce merge — cannot be degraded around
+  /// and come back as kIoError / kDataLoss.
+  template <typename K, typename V, typename OutK, typename OutV,
+            typename Reduce, typename Combine>
+  StatusOr<std::vector<std::pair<OutK, OutV>>> try_round_combine(
       std::vector<std::pair<K, V>> input, Reduce reduce, Combine combine) {
     account_round(input.size(), sizeof(std::pair<K, V>));
 
@@ -193,15 +227,56 @@ class Engine {
     };
     std::vector<Shard> shards(num_workers);
 
-    std::unique_ptr<SpillSession> spill;
+    // Spill target escalation: primary dir -> fallback dir -> in-memory.
+    // `tier` only ever advances, so once a target has failed no worker
+    // goes back to it; runs already appended to an earlier tier stay
+    // valid (a failed append leaves its partition untouched) and are
+    // merged alongside everything else in the reduce phase.
+    enum : int { kPrimary = 0, kFallback = 1, kDegraded = 2 };
+    std::array<std::unique_ptr<SpillSession>, 2> sessions;
     std::mutex spill_mu;
-    const auto spill_session = [&]() -> SpillSession& {
+    std::atomic<int> tier{kPrimary};
+    std::atomic<std::uint64_t> fallback_runs{0};
+    const auto session_at = [&](int t) -> SpillSession& {
       std::lock_guard<std::mutex> lock(spill_mu);
-      if (spill == nullptr) {
-        spill = std::make_unique<SpillSession>(
-            config_.spill_dir, num_partitions, sizeof(Tagged));
+      auto& slot = sessions[static_cast<std::size_t>(t)];
+      if (slot == nullptr) {
+        slot = std::make_unique<SpillSession>(
+            t == kPrimary ? config_.spill_dir : config_.spill_fallback_dir,
+            num_partitions, sizeof(Tagged));
       }
-      return *spill;
+      return *slot;
+    };
+    const auto escalate = [&](int from, const Status& why) {
+      const int to = (from == kPrimary && !config_.spill_fallback_dir.empty())
+                         ? kFallback
+                         : kDegraded;
+      int expected = from;
+      if (tier.compare_exchange_strong(expected, to)) {
+        std::fprintf(stderr,
+                     "gclus: MR spill %s: %s\n",
+                     to == kFallback
+                         ? "falling back to GCLUS_MR_SPILL_FALLBACK_DIR"
+                         : "degrading to in-memory shuffle",
+                     why.to_string().c_str());
+      }
+    };
+    // Appends one run to the current tier; false = degraded, caller keeps
+    // the bucket in memory.
+    const auto spill_append = [&](std::size_t p, const void* data,
+                                  std::uint64_t count) {
+      for (;;) {
+        const int t = tier.load(std::memory_order_relaxed);
+        if (t == kDegraded) return false;
+        const Status st = session_at(t).append_run(p, data, count);
+        if (st.ok()) {
+          if (t == kFallback) {
+            fallback_runs.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        }
+        escalate(t, st);
+      }
     };
 
     // Chunked scan: chunk boundaries depend only on the input size, and
@@ -224,11 +299,19 @@ class Engine {
               combine_sorted_run(bucket, shard.combiner_in,
                                  shard.combiner_out);
             }
-            spill_session().append_run(p, bucket.data(), bucket.size());
+            if (!spill_append(p, bucket.data(), bucket.size())) {
+              // Degraded: this (sorted, combined) bucket and everything
+              // after it stay in memory; the reduce phase re-sorts and
+              // re-folds, which the combiner contract makes exact.
+              break;
+            }
             ++shard.spilled_runs;
             std::vector<Tagged>().swap(bucket);  // actually release memory
           }
           shard.buffered_bytes = 0;
+          for (const auto& bucket : shard.buckets) {
+            shard.buffered_bytes += bucket.size() * sizeof(Tagged);
+          }
         }
       };
       for (;;) {
@@ -242,6 +325,7 @@ class Engine {
           auto& [k, v] = input[i];
           const std::size_t p = partition_of(k, num_partitions);
           if (spill_enabled &&
+              tier.load(std::memory_order_relaxed) != kDegraded &&
               shard.buffered_bytes + sizeof(Tagged) > per_worker_budget) {
             flush_to_disk();
           }
@@ -255,7 +339,11 @@ class Engine {
     });
     input.clear();
     input.shrink_to_fit();
-    if (spill != nullptr) spill->seal();
+    for (const auto& session : sessions) {
+      // A seal failure means already-spilled (and evicted) data may never
+      // reach the file: there is nothing left to degrade to.
+      if (session != nullptr) GCLUS_RETURN_IF_ERROR(session->seal());
+    }
 
     // --- Reduce phase: per-partition sort-merge of all runs. ---
     std::vector<std::vector<std::pair<OutK, OutV>>> outputs(num_partitions);
@@ -263,6 +351,15 @@ class Engine {
     std::atomic<std::uint64_t> runs_merged{0};
     std::atomic<std::uint64_t> merge_buffer_peak{0};
     std::atomic<std::size_t> part_cursor{0};
+    // Workers cannot early-return out of run_on_workers, so merge-phase
+    // failures park the first error here and the round reports it after
+    // the barrier.
+    std::mutex err_mu;
+    Status round_status;
+    const auto record_error = [&](Status st) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (round_status.ok()) round_status = std::move(st);
+    };
     workers.run_on_workers([&](std::size_t) {
       std::uint64_t combiner_in = 0;
       std::uint64_t combiner_out = 0;
@@ -292,14 +389,28 @@ class Engine {
         // holds one refill buffer per run, never a whole partition.
         std::vector<RunCursor> disk_runs;
         if constexpr (kSpillable) {
-          if (spill != nullptr && spill->num_runs(p) > 0) {
-            const std::size_t total_disk = spill->num_runs(p);
+          std::size_t total_disk = 0;
+          for (const auto& session : sessions) {
+            if (session != nullptr) total_disk += session->num_runs(p);
+          }
+          if (total_disk > 0) {
             const std::size_t buffer_records = std::clamp<std::size_t>(
                 per_worker_budget / (sizeof(Tagged) * total_disk), 1, 4096);
             my_merge_peak = std::max<std::uint64_t>(
                 my_merge_peak, static_cast<std::uint64_t>(buffer_records) *
                                    sizeof(Tagged) * total_disk);
-            disk_runs = spill->open_partition(p, buffer_records);
+            bool open_failed = false;
+            for (const auto& session : sessions) {
+              if (session == nullptr || session->num_runs(p) == 0) continue;
+              auto cursors = session->open_partition(p, buffer_records);
+              if (!cursors.ok()) {
+                record_error(std::move(cursors).status());
+                open_failed = true;
+                break;
+              }
+              for (auto& c : *cursors) disk_runs.push_back(std::move(c));
+            }
+            if (open_failed) continue;  // round fails; skip the partition
           }
         }
         const std::size_t total_runs = mem_runs.size() + disk_runs.size();
@@ -331,6 +442,13 @@ class Engine {
                                    });
         }
 
+        // A cursor ends its stream on error exactly like at end-of-run,
+        // so the merge cannot tell a truncated run from a complete one —
+        // only the parked status can.
+        for (const RunCursor& cursor : disk_runs) {
+          if (!cursor.status().ok()) record_error(cursor.status());
+        }
+
         std::size_t seen = max_group.load(std::memory_order_relaxed);
         while (local_max > seen &&
                !max_group.compare_exchange_weak(seen, local_max,
@@ -341,10 +459,21 @@ class Engine {
       merge_buffer_peak.fetch_add(my_merge_peak, std::memory_order_relaxed);
     });
 
+    GCLUS_RETURN_IF_ERROR(std::move(round_status));
+
+    const bool degraded = tier.load() == kDegraded;
+    if (degraded) ++metrics_.spill_degraded_rounds;
+    metrics_.spill_fallback_runs += fallback_runs.load();
+    std::uint64_t bytes_spilled = 0;
+    for (const auto& session : sessions) {
+      if (session == nullptr) continue;
+      bytes_spilled += session->bytes_written();
+      metrics_.spill_write_retries += session->write_retries();
+    }
     account_groups(max_group.load());
-    account_shuffle(shards, spill.get(), runs_merged.load(),
+    account_shuffle(shards, bytes_spilled, runs_merged.load(),
                     merge_buffer_peak.load(), sizeof(Tagged), spill_enabled,
-                    num_workers);
+                    degraded, num_workers);
 
     // --- Concatenate outputs in partition order (deterministic). ---
     std::size_t total = 0;
@@ -477,11 +606,11 @@ class Engine {
   }
 
   template <typename Shards>
-  void account_shuffle(const Shards& shards, const SpillSession* spill,
+  void account_shuffle(const Shards& shards, std::uint64_t bytes_spilled,
                        std::uint64_t runs_merged,
                        std::uint64_t merge_buffer_peak,
                        std::size_t record_size, bool spill_enabled,
-                       std::size_t num_workers) {
+                       bool degraded, std::size_t num_workers) {
     std::uint64_t round_peak = 0;
     for (const auto& shard : shards) {
       round_peak += shard.peak_bytes;
@@ -501,8 +630,11 @@ class Engine {
     metrics_.peak_merge_buffer_bytes =
         std::max(metrics_.peak_merge_buffer_bytes, merge_buffer_peak);
     metrics_.runs_merged += runs_merged;
-    if (spill != nullptr) metrics_.bytes_spilled += spill->bytes_written();
-    if (spill_enabled && config_.spill_strict) {
+    metrics_.bytes_spilled += bytes_spilled;
+    // A degraded round holds the shuffle in memory by design; its peak is
+    // legitimately above budget, so the strict check applies only to
+    // rounds where spilling actually worked.
+    if (spill_enabled && config_.spill_strict && !degraded) {
       const std::uint64_t allowed = std::max<std::uint64_t>(
           config_.spill_memory_bytes,
           static_cast<std::uint64_t>(num_workers) * record_size);

@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <system_error>
 
 #include "common/check.hpp"
+#include "common/faultpoint.hpp"
 
 namespace gclus::mr {
 
@@ -29,30 +31,53 @@ RunCursor::RunCursor(std::FILE* file, std::uint64_t offset,
 
 const void* RunCursor::next() {
   if (consumed_ == buffered_) {
-    if (remaining_ == 0) return nullptr;
-    refill();
+    if (remaining_ == 0 || !status_.ok()) return nullptr;
+    status_ = refill();
+    if (!status_.ok()) return nullptr;
   }
   const void* rec = buffer_.data() + consumed_ * record_size_;
   ++consumed_;
   return rec;
 }
 
-void RunCursor::refill() {
+Status RunCursor::refill() {
   const std::size_t want = static_cast<std::size_t>(
       std::min<std::uint64_t>(remaining_, buffer_.size() / record_size_));
-  // Cursors of one partition share the FILE*, so every refill seeks to its
-  // own absolute offset before reading.
-  GCLUS_CHECK(std::fseek(file_, static_cast<long>(next_offset_), SEEK_SET) ==
-                  0,
-              "spill run seek failed at offset ", next_offset_);
-  const std::size_t got = std::fread(buffer_.data(), record_size_, want,
-                                     file_);
-  GCLUS_CHECK(got == want, "spill run truncated: wanted ", want,
-              " records at offset ", next_offset_, ", got ", got);
+  // Each attempt re-seeks, so a transient short read retries from the
+  // same offset with nothing consumed.
+  const Status st = retry_transient(io_retry_policy(), [&] {
+    // Cursors of one partition share the FILE*, so every refill seeks to
+    // its own absolute offset before reading.
+    if (GCLUS_FAULTPOINT("spill.seek") ||
+        std::fseek(file_, static_cast<long>(next_offset_), SEEK_SET) != 0) {
+      return IoError("spill run seek failed at offset " +
+                     std::to_string(next_offset_));
+    }
+    const std::size_t got =
+        GCLUS_FAULTPOINT("spill.read")
+            ? want / 2
+            : std::fread(buffer_.data(), record_size_, want, file_);
+    if (got == want) return OkStatus();
+    if (std::feof(file_) != 0) {
+      return DataLossError("spill run truncated: wanted " +
+                           std::to_string(want) + " records at offset " +
+                           std::to_string(next_offset_) + ", got " +
+                           std::to_string(got));
+    }
+    // Short read without EOF (interrupted syscall, injected fault):
+    // transient — clear the stream state and let the retry re-seek and
+    // re-read; a hard error keeps failing and escalates to kIoError.
+    std::clearerr(file_);
+    return UnavailableError("spill run short read (wanted " +
+                            std::to_string(want) + " records, got " +
+                            std::to_string(got) + ")");
+  });
+  if (!st.ok()) return st;
   next_offset_ += static_cast<std::uint64_t>(want) * record_size_;
   remaining_ -= want;
   buffered_ = want;
   consumed_ = 0;
+  return OkStatus();
 }
 
 // ---------------------------------------------------------------------------
@@ -79,7 +104,10 @@ SpillSession::~SpillSession() {
   }
 }
 
-void SpillSession::ensure_dir() {
+Status SpillSession::ensure_dir() {
+  // The first attempt's outcome is sticky: a session whose directory
+  // cannot be created stays failed, and the engine moves on to its
+  // fallback session instead of hammering the same path.
   std::call_once(dir_once_, [&] {
     static std::atomic<std::uint64_t> counter{0};
     fs::path base = dir_hint_.empty() ? fs::temp_directory_path()
@@ -87,43 +115,97 @@ void SpillSession::ensure_dir() {
     fs::path dir = base / ("gclus-spill-" + std::to_string(::getpid()) + "-" +
                            std::to_string(counter.fetch_add(1)));
     std::error_code ec;
-    fs::create_directories(dir, ec);
-    GCLUS_CHECK(!ec, "spill directory not writable: cannot create ",
-                dir.string(), " (", ec.message(), ")");
+    if (GCLUS_FAULTPOINT("spill.mkdir")) {
+      ec = std::make_error_code(std::errc::permission_denied);
+    } else {
+      fs::create_directories(dir, ec);
+    }
+    if (ec) {
+      dir_status_ =
+          IoError("spill directory not writable: cannot create " +
+                  dir.string() + " (" + ec.message() + ")");
+      return;
+    }
     dir_ = dir.string();
   });
+  return dir_status_;
 }
 
-void SpillSession::append_run(std::size_t p, const void* data,
-                              std::uint64_t count) {
+Status SpillSession::append_run(std::size_t p, const void* data,
+                                std::uint64_t count) {
   GCLUS_CHECK(p < parts_.size());
   GCLUS_CHECK(count > 0, "empty spill runs are never written");
-  ensure_dir();
+  GCLUS_RETURN_IF_ERROR(ensure_dir());
   Partition& part = *parts_[p];
   std::lock_guard<std::mutex> lock(part.mu);
   if (part.file == nullptr) {
     const std::string path =
         (fs::path(dir_) / ("part-" + std::to_string(p) + ".run")).string();
+    if (GCLUS_FAULTPOINT("spill.open")) {
+      return IoError("spill directory not writable: cannot open " + path +
+                     " (injected)");
+    }
     part.file = std::fopen(path.c_str(), "wb+");
-    GCLUS_CHECK(part.file != nullptr,
-                "spill directory not writable: cannot open ", path);
+    if (part.file == nullptr) {
+      return status_from_errno(errno,
+                               "spill directory not writable: cannot open " +
+                                   path);
+    }
   }
   const std::uint64_t payload_bytes = count * record_size_;
-  GCLUS_CHECK(std::fwrite(&count, sizeof(count), 1, part.file) == 1,
-              "spill write failed (run header)");
-  GCLUS_CHECK(std::fwrite(data, 1, payload_bytes, part.file) == payload_bytes,
-              "spill write failed (", payload_bytes, " payload bytes)");
+  std::uint64_t retries = 0;
+  const Status st = retry_transient(
+      io_retry_policy(),
+      [&] {
+        // Seek to the recorded offset first: a retried (or abandoned)
+        // partial append overwrites its own torn tail, and readers only
+        // ever see byte ranges recorded in part.runs.
+        if (std::fseek(part.file, static_cast<long>(part.write_offset),
+                       SEEK_SET) != 0) {
+          return status_from_errno(errno, "spill write seek failed");
+        }
+        if (GCLUS_FAULTPOINT("spill.write")) {
+          // Model a short write: some payload landed, the rest did not.
+          (void)std::fwrite(data, 1,
+                            static_cast<std::size_t>(payload_bytes / 2),
+                            part.file);
+          return UnavailableError("spill write short (injected)");
+        }
+        if (std::fwrite(&count, sizeof(count), 1, part.file) != 1) {
+          const int err = errno;
+          std::clearerr(part.file);
+          return status_from_errno(err, "spill write failed (run header)");
+        }
+        if (std::fwrite(data, 1, payload_bytes, part.file) != payload_bytes) {
+          const int err = errno;
+          std::clearerr(part.file);
+          return status_from_errno(err, "spill write failed (payload)");
+        }
+        return OkStatus();
+      },
+      &retries);
+  write_retries_.fetch_add(retries, std::memory_order_relaxed);
+  if (!st.ok()) return st;
   part.runs.push_back(Run{part.write_offset + sizeof(count), count});
   part.write_offset += sizeof(count) + payload_bytes;
   bytes_written_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  return OkStatus();
 }
 
-void SpillSession::seal() {
-  for (auto& part : parts_) {
-    if (part->file != nullptr) {
-      GCLUS_CHECK(std::fflush(part->file) == 0, "spill flush failed");
+Status SpillSession::seal() {
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    Partition& part = *parts_[p];
+    if (part.file == nullptr) continue;
+    if (GCLUS_FAULTPOINT("spill.flush")) {
+      return IoError("spill flush failed (partition " + std::to_string(p) +
+                     ", injected)");
+    }
+    if (std::fflush(part.file) != 0) {
+      return status_from_errno(errno, "spill flush failed (partition " +
+                                          std::to_string(p) + ")");
     }
   }
+  return OkStatus();
 }
 
 std::size_t SpillSession::num_runs(std::size_t p) const {
@@ -141,7 +223,11 @@ std::uint64_t SpillSession::bytes_written() const {
   return bytes_written_.load(std::memory_order_relaxed);
 }
 
-std::vector<RunCursor> SpillSession::open_partition(
+std::uint64_t SpillSession::write_retries() const {
+  return write_retries_.load(std::memory_order_relaxed);
+}
+
+StatusOr<std::vector<RunCursor>> SpillSession::open_partition(
     std::size_t p, std::size_t buffer_records) {
   GCLUS_CHECK(p < parts_.size());
   Partition& part = *parts_[p];
@@ -151,12 +237,21 @@ std::vector<RunCursor> SpillSession::open_partition(
   // A run recorded in memory must be readable in full: verify the file
   // still holds every byte the writer appended, so truncation surfaces
   // here (with a clear message) even before a cursor's short read would.
-  GCLUS_CHECK(std::fseek(part.file, 0, SEEK_END) == 0, "spill seek failed");
+  if (GCLUS_FAULTPOINT("spill.seek")) {
+    return IoError("spill seek failed (partition " + std::to_string(p) +
+                   ", injected)");
+  }
+  if (std::fseek(part.file, 0, SEEK_END) != 0) {
+    return status_from_errno(errno, "spill seek failed (partition " +
+                                        std::to_string(p) + ")");
+  }
   const long size = std::ftell(part.file);
-  GCLUS_CHECK(size >= 0 &&
-                  static_cast<std::uint64_t>(size) >= part.write_offset,
-              "spill run truncated: partition ", p, " file has ", size,
-              " bytes, expected ", part.write_offset);
+  if (size < 0 || static_cast<std::uint64_t>(size) < part.write_offset) {
+    return DataLossError("spill run truncated: partition " +
+                         std::to_string(p) + " file has " +
+                         std::to_string(size) + " bytes, expected " +
+                         std::to_string(part.write_offset));
+  }
   for (const Run& run : part.runs) {
     cursors.emplace_back(part.file, run.offset, run.count, record_size_,
                          buffer_records);

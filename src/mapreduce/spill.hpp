@@ -12,8 +12,19 @@
 // header (record count) followed by `count * record_size` payload bytes.
 // Run boundaries are also tracked in memory at write time, so reading
 // never trusts the file for structure — a truncated or corrupted file is
-// detected as a short read and aborts via GCLUS_CHECK rather than
+// detected as a short read and reported as a kDataLoss Status rather than
 // producing a silently wrong answer.
+//
+// Error handling: environmental failures (unwritable directory, ENOSPC,
+// torn run files) come back as Status so the engine can degrade — fall
+// back to a second spill directory, or keep the round in memory — instead
+// of aborting mid-shuffle.  Transient write/read errors (EINTR, injected
+// short writes) are retried with backoff under io_retry_policy(); every
+// append seeks to the partition's recorded write offset first, so a
+// failed partial append leaves no visible damage and the retry overwrites
+// the torn tail.  API *contract* violations (bad partition index, empty
+// runs) remain GCLUS_CHECK aborts.  Fault points: "spill.mkdir",
+// "spill.open", "spill.write", "spill.flush", "spill.seek", "spill.read".
 //
 // Thread safety: append_run() may be called concurrently for *different*
 // partitions (per-partition locking); open_partition() is for the reduce
@@ -29,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace gclus::mr {
 
 /// Streams one spilled run's records through a bounded refill buffer, so
@@ -41,12 +54,19 @@ class RunCursor {
   RunCursor(RunCursor&&) = default;
   RunCursor& operator=(RunCursor&&) = default;
 
-  /// Pointer to the next record, or nullptr at end of run.  The pointer is
-  /// valid until the next call (a refill may reuse the buffer).
+  /// Pointer to the next record; nullptr at end of run *or* on error —
+  /// callers that saw nullptr must consult status() to tell the two
+  /// apart.  The pointer is valid until the next call (a refill may
+  /// reuse the buffer).
   [[nodiscard]] const void* next();
 
+  /// OK while the cursor has only ever delivered valid records; the first
+  /// failed refill (seek failure, truncated run) parks its error here and
+  /// ends the stream.
+  [[nodiscard]] const Status& status() const { return status_; }
+
  private:
-  void refill();
+  [[nodiscard]] Status refill();
 
   std::FILE* file_;            // shared with sibling cursors; not owned
   std::uint64_t next_offset_;  // absolute file offset of the next refill
@@ -55,6 +75,7 @@ class RunCursor {
   std::vector<unsigned char> buffer_;
   std::size_t buffered_ = 0;  // records currently in buffer_
   std::size_t consumed_ = 0;  // records of buffer_ already returned
+  Status status_;
 };
 
 /// All spill files of one engine round.  Creating the session is cheap;
@@ -63,8 +84,7 @@ class RunCursor {
 class SpillSession {
  public:
   /// `dir_hint` empty means the system temp directory; the session creates
-  /// a unique subdirectory under it.  Aborts if the directory cannot be
-  /// created or written ("spill directory not writable" class of errors).
+  /// a unique subdirectory under it (lazily, on first append).
   SpillSession(std::string dir_hint, std::size_t num_partitions,
                std::size_t record_size);
   ~SpillSession();
@@ -73,11 +93,16 @@ class SpillSession {
   SpillSession& operator=(const SpillSession&) = delete;
 
   /// Appends one sorted run of `count` records to partition `p`.
-  /// Thread-safe across partitions and callers.
-  void append_run(std::size_t p, const void* data, std::uint64_t count);
+  /// Thread-safe across partitions and callers.  kIoError /
+  /// kResourceExhausted when the directory, file, or write fails after
+  /// retries; on failure the partition is exactly as it was before the
+  /// call (the next append re-seeks to the recorded offset), so the
+  /// caller may retarget the run to another session or keep it in memory.
+  [[nodiscard]] Status append_run(std::size_t p, const void* data,
+                                  std::uint64_t count);
 
   /// Flushes all files; call once, between the map and reduce phases.
-  void seal();
+  [[nodiscard]] Status seal();
 
   [[nodiscard]] std::size_t num_partitions() const { return parts_.size(); }
   [[nodiscard]] std::size_t num_runs(std::size_t p) const;
@@ -85,9 +110,14 @@ class SpillSession {
   [[nodiscard]] std::uint64_t bytes_written() const;
   [[nodiscard]] const std::string& directory() const { return dir_; }
 
+  /// Transient write errors recovered by retry since construction.
+  [[nodiscard]] std::uint64_t write_retries() const;
+
   /// Opens every run of partition `p` for merging.  `buffer_records` is
   /// the refill-buffer size per cursor (clamped to >= 1 internally).
-  [[nodiscard]] std::vector<RunCursor> open_partition(
+  /// kDataLoss when the partition file no longer holds every byte the
+  /// writer appended.
+  [[nodiscard]] StatusOr<std::vector<RunCursor>> open_partition(
       std::size_t p, std::size_t buffer_records);
 
  private:
@@ -102,14 +132,16 @@ class SpillSession {
     std::vector<Run> runs;
   };
 
-  void ensure_dir();
+  [[nodiscard]] Status ensure_dir();
 
   std::string dir_hint_;
   std::string dir_;  // empty until first append
+  Status dir_status_;
   std::once_flag dir_once_;
   std::size_t record_size_;
   std::vector<std::unique_ptr<Partition>> parts_;
   std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> write_retries_{0};
 };
 
 }  // namespace gclus::mr

@@ -9,7 +9,15 @@
 #include <random>
 #include <system_error>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define GCLUS_HAS_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/check.hpp"
+#include "common/faultpoint.hpp"
+#include "common/status.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -42,6 +50,8 @@ struct CacheCounters {
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> stores{0};
+  std::atomic<std::uint64_t> corrupt_evictions{0};
+  std::atomic<std::uint64_t> publish_failures{0};
 };
 
 CacheCounters& counters() {
@@ -64,6 +74,37 @@ std::string unique_tmp_suffix() {
   return std::to_string(salt) + "-" + std::to_string(counter.fetch_add(1));
 }
 
+/// fsyncs one path (a file, or with `directory` its parent directory
+/// entry).  On platforms without fsync this is a no-op success — the
+/// publish is still atomic, just not crash-durable.
+bool sync_path(const std::string& path, bool directory) {
+#ifdef GCLUS_HAS_FSYNC
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)directory;
+  return true;
+#endif
+}
+
+/// Crash-consistent publish: fsync the temp file, rename it over `path`,
+/// fsync the directory so the rename itself survives a crash.  A reader
+/// can then never observe a torn entry: before the rename it sees the old
+/// inode (or nothing), after it a fully durable new one.
+bool publish_cache_entry(const std::string& tmp, const std::string& path,
+                         const std::string& dir) {
+  if (GCLUS_FAULTPOINT("cache.publish")) return false;
+  if (!sync_path(tmp, /*directory=*/false)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return false;
+  return sync_path(dir, /*directory=*/true);
+}
+
 }  // namespace
 
 double workload_scale() {
@@ -84,7 +125,8 @@ std::string dataset_cache_dir() {
 
 DatasetCacheStats dataset_cache_stats() {
   const auto& c = counters();
-  return {c.hits.load(), c.misses.load(), c.stores.load()};
+  return {c.hits.load(), c.misses.load(), c.stores.load(),
+          c.corrupt_evictions.load(), c.publish_failures.load()};
 }
 
 Graph cached_graph(const std::string& key,
@@ -97,29 +139,43 @@ Graph cached_graph(const std::string& key,
   fs::create_directories(dir, ec);  // best effort; a miss just rebuilds
   const std::string path = dir + "/" + key + "-g" +
                            std::to_string(kDatasetGeneratorVersion) + ".csr2";
-  // try_load validates magic, sections, and checksum — a truncated or
-  // corrupted entry (e.g. a process killed mid-publish on a filesystem
-  // without atomic rename) reads as a miss and is rebuilt below.
-  if (auto cached = io::try_load_csr_file(path)) {
+  // load_csr validates magic, sections, and checksum.  The code tells an
+  // absent entry (plain miss) from a *corrupt* one — truncated, bit-
+  // flipped, or torn by a crash on a filesystem without atomic rename —
+  // which is deleted so it cannot poison every later run, then rebuilt.
+  auto cached = GCLUS_FAULTPOINT("cache.load")
+                    ? StatusOr<Graph>(DataLossError("injected corrupt entry"))
+                    : io::load_csr(path);
+  if (cached.ok()) {
     counters().hits.fetch_add(1, std::memory_order_relaxed);
-    return std::move(*cached);
+    return std::move(cached).value();
+  }
+  const StatusCode code = cached.status().code();
+  if (code == StatusCode::kDataLoss || code == StatusCode::kInvalidArgument) {
+    std::fprintf(stderr,
+                 "gclus: evicting corrupt dataset cache entry %s (%s)\n",
+                 path.c_str(), cached.status().to_string().c_str());
+    counters().corrupt_evictions.fetch_add(1, std::memory_order_relaxed);
+    fs::remove(path, ec);  // best effort; rebuild either way
   }
   counters().misses.fetch_add(1, std::memory_order_relaxed);
   Graph g = build();
 
-  // Publish atomically: concurrent fillers (parallel ctest) each write a
-  // private temp file and the last rename wins — readers mmap whichever
-  // complete inode they opened.  Publication is best-effort end to end:
-  // an unwritable or full cache volume degrades to regeneration, never
-  // aborts the run.
+  // Publish atomically and crash-consistently: concurrent fillers
+  // (parallel ctest) each write a private temp file and the last rename
+  // wins — readers mmap whichever complete inode they opened — and the
+  // file plus directory entry are fsynced around the rename so a crash
+  // cannot leave a published name pointing at unwritten data.
+  // Publication is best-effort end to end: an unwritable or full cache
+  // volume degrades to regeneration, never aborts the run.
   const std::string tmp = path + ".tmp." + unique_tmp_suffix();
-  if (io::try_write_csr_file(g, tmp)) {
-    fs::rename(tmp, path, ec);
-    if (!ec) {
-      counters().stores.fetch_add(1, std::memory_order_relaxed);
-      return g;
-    }
+  const bool wrote =
+      !GCLUS_FAULTPOINT("cache.write") && io::write_csr(g, tmp).ok();
+  if (wrote && publish_cache_entry(tmp, path, dir)) {
+    counters().stores.fetch_add(1, std::memory_order_relaxed);
+    return g;
   }
+  counters().publish_failures.fetch_add(1, std::memory_order_relaxed);
   fs::remove(tmp, ec);
   return g;
 }

@@ -81,6 +81,12 @@ struct DatasetCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
+  /// Entries that existed but failed validation (truncated, checksum
+  /// mismatch) and were deleted before regenerating.
+  std::uint64_t corrupt_evictions = 0;
+  /// Publications abandoned because the temp write, fsync, or rename
+  /// failed; the run continues on the freshly built graph.
+  std::uint64_t publish_failures = 0;
 };
 [[nodiscard]] DatasetCacheStats dataset_cache_stats();
 

@@ -84,6 +84,30 @@ TEST(Registry, RejectsUnknownParameters) {
                "not an unsigned integer");
 }
 
+TEST(Registry, TryRunReportsUsageErrorsAsStatus) {
+  const Graph g = gen::grid(6, 6);
+  RunContext ctx;
+  // The Status surface lets long-lived callers (REPLs, servers) reject a
+  // bad request without dying; the abort behavior above is the wrapper.
+  const auto unknown = registry().try_run("nope", g, {}, ctx);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.status().message().find("unknown algorithm"),
+            std::string::npos);
+
+  const auto bad_key =
+      registry().try_run("cluster", g, AlgoParams{{"tua", "4"}}, ctx);
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_EQ(bad_key.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_key.status().message().find("has no parameter"),
+            std::string::npos);
+
+  const auto good =
+      registry().try_run("cluster", g, AlgoParams{{"tau", "4"}}, ctx);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.value().validate(g));
+}
+
 // --- The registry-driven property sweep: every registered algorithm, on
 // every corpus graph, must produce a valid partition, and a fixed
 // RunContext must give byte-identical results on 1, 2, and 8 threads. ---

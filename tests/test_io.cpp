@@ -398,6 +398,61 @@ TEST(Csr2, TryLoadIsNonAborting) {
   EXPECT_TRUE(testutil::same_csr(g, *loaded));
 }
 
+// ---- Status API -------------------------------------------------------------
+// The load_* / write_* Status entry points carry the failure taxonomy the
+// long-lived callers (dataset cache, CLI) dispatch on; the abort wrappers
+// above are thin shims over these.
+
+TEST(Csr2Status, CodesMatchFailureTaxonomy) {
+  // Hard environment failure: the file does not exist.
+  const auto missing = load_csr("/nonexistent/gclus/file.csr2");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+
+  TempFile f("gclus_io_status.csr2");
+  {
+    std::ofstream out(f.path, std::ios::binary);
+    out << "garbage that is much longer than the CSR v2 header needs";
+  }
+  // Not what it claims to be: wrong magic.
+  const auto garbage = load_csr(f.path);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidArgument);
+
+  const Graph g = gen::grid(8, 8);
+  ASSERT_TRUE(write_csr(g, f.path).ok());
+  // Was valid, now torn: truncation and checksum damage are kDataLoss.
+  const auto full = std::filesystem::file_size(f.path);
+  std::filesystem::resize_file(f.path, full - 16);
+  const auto truncated = load_csr(f.path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+
+  // Errors carry the path as context for one-line diagnostics.
+  EXPECT_NE(truncated.status().message().find(f.path), std::string::npos);
+
+  // Flag mismatch: an unweighted file through the weighted loader.
+  ASSERT_TRUE(write_csr(g, f.path).ok());
+  const auto wrong_family = load_weighted_csr(f.path);
+  ASSERT_FALSE(wrong_family.ok());
+  EXPECT_EQ(wrong_family.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Csr2Status, WriteToUnwritableDirectoryIsIoError) {
+  const Status st =
+      write_csr(gen::cycle(8), "/proc/definitely/not/writable/x.csr2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListStatus, MissingFileIsIoError) {
+  const auto missing = load_edge_list("/nonexistent/gclus/edges.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  EXPECT_NE(missing.status().message().find("/nonexistent/gclus/edges.txt"),
+            std::string::npos);
+}
+
 // ---- owning vs mmap through the registry ------------------------------------
 
 /// Cheap, well-defined parameters for every registered algorithm on small

@@ -257,13 +257,23 @@ TEST(Engine, NoSpillBelowBudget) {
   EXPECT_EQ(engine.metrics().spill_runs, 0u);
 }
 
-TEST(EngineDeathTest, UnwritableSpillDirAborts) {
+TEST(Engine, UnwritableSpillDirDegradesToInMemory) {
+  // With no fallback directory configured, a failed spill keeps the
+  // shuffle in memory: same output as a healthy engine, degradation
+  // recorded in the metrics instead of an abort.
   Config cfg;
+  cfg.spill_memory_bytes = kSpillUnbounded;
+  Engine reference(cfg);
+  const auto expected = sum_round(reference, make_input(1000, 7));
+
   cfg.spill_memory_bytes = 64;  // force an immediate spill
   cfg.spill_dir = "/proc/definitely/not/writable";
+  cfg.spill_fallback_dir = "/proc/also/not/writable";
+  cfg.spill_strict = true;  // must not trip: degraded rounds are exempt
   Engine engine(cfg);
-  EXPECT_DEATH((void)sum_round(engine, make_input(1000, 7)),
-               "spill directory not writable");
+  EXPECT_EQ(sum_round(engine, make_input(1000, 7)), expected);
+  EXPECT_EQ(engine.metrics().spill_degraded_rounds, 1u);
+  EXPECT_EQ(engine.metrics().bytes_spilled, 0u);
 }
 
 // --- Pre-existing accounting semantics (unchanged by the rewrite). ---
