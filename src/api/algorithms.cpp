@@ -14,6 +14,7 @@
 // registry's uniform return type covers them too.
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "api/registry.hpp"
 #include "baselines/gonzalez.hpp"
@@ -22,6 +23,7 @@
 #include "common/check.hpp"
 #include "core/cluster.hpp"
 #include "core/cluster2.hpp"
+#include "core/distance_oracle.hpp"
 #include "core/kcenter.hpp"
 #include "core/weighted_cluster.hpp"
 #include "graph/bfs.hpp"
@@ -311,6 +313,25 @@ void register_mr_algorithms(Registry& r) {
          });
 }
 
+void register_oracle(Registry& r) {
+  r.add({"oracle",
+         "distance-oracle decomposition (§4): CLUSTER2 at τ = √n/log²n on "
+         "the oracle's derived seed stream; emits quotient size and APSP "
+         "path telemetry",
+         {{"tau", Type::kU32, "0",
+           "granularity; 0 picks √n/log²n automatically"},
+          {"use_cluster2", Type::kBool, "true",
+           "CLUSTER2 (analyzed variant) instead of plain CLUSTER"}},
+         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
+           DistanceOracleOptions o;
+           o.context() = ctx;
+           o.tau = p.get_u32("tau", 0);
+           o.use_cluster2 = p.get_bool("use_cluster2", true);
+           OracleBuild build = DistanceOracle::build_full(g, o);
+           return std::move(build.clustering);
+         }});
+}
+
 }  // namespace
 
 namespace detail {
@@ -319,6 +340,7 @@ void register_builtin_algorithms(Registry& r) {
   register_cluster(r);
   register_cluster2(r);
   register_weighted_cluster(r);
+  register_oracle(r);
   register_mpx(r);
   register_random_centers(r);
   register_gonzalez(r);

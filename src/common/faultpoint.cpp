@@ -16,6 +16,9 @@ namespace {
 // enumeration the fault-sweep suite iterates, so a new call site MUST add
 // its name here (evaluating an undeclared name aborts).
 constexpr const char* kFaultPoints[] = {
+    "artifact.load",     // oracle artifact sidecar reads as corrupt
+    "artifact.publish",  // fsync/rename of the published artifact fails
+    "artifact.write",    // artifact temp-file write fails
     "cache.load",     // cached CSR v2 entry reads as corrupt
     "cache.publish",  // fsync/rename of the published cache entry fails
     "cache.write",    // cache temp-file write fails

@@ -1,6 +1,7 @@
 #include "core/distance_oracle.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "core/cluster2.hpp"
@@ -9,39 +10,56 @@
 
 namespace gclus {
 
-DistanceOracle DistanceOracle::build(const Graph& g,
-                                     const DistanceOracleOptions& options) {
+std::uint32_t resolve_oracle_tau(NodeId n, std::uint32_t tau) {
+  if (tau != 0) return tau;
+  const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
+  return static_cast<std::uint32_t>(
+      std::max(1.0, std::sqrt(static_cast<double>(n)) / (logn * logn)));
+}
+
+OracleBuild DistanceOracle::build_full(const Graph& g,
+                                       const DistanceOracleOptions& options) {
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n >= 1);
 
-  std::uint32_t tau = options.tau;
-  if (tau == 0) {
-    const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
-    tau = static_cast<std::uint32_t>(
-        std::max(1.0, std::sqrt(static_cast<double>(n)) / (logn * logn)));
-  }
+  const std::uint32_t tau = resolve_oracle_tau(n, options.tau);
 
   ClusterOptions copts;
   copts.context() = options.context();
   copts.seed = derive_seed(options.seed, kSeedTagOracleBuild);
 
-  Clustering clustering;
+  OracleBuild out;
+  out.resolved_tau = tau;
   if (options.use_cluster2) {
-    clustering = cluster2(g, tau, copts).clustering;
+    out.clustering = cluster2(g, tau, copts).clustering;
   } else {
-    clustering = cluster(g, tau, copts);
+    out.clustering = cluster(g, tau, copts);
   }
 
-  const QuotientGraph q = build_quotient(g, clustering, /*with_weights=*/true);
+  QuotientGraph q = build_quotient(g, out.clustering, /*with_weights=*/true);
+  out.quotient = std::move(q.weighted);
 
-  DistanceOracle oracle;
-  oracle.num_clusters_ = clustering.num_clusters();
-  oracle.max_radius_ = clustering.max_radius();
-  oracle.cluster_of_ = clustering.assignment;
-  oracle.dist_to_center_ = clustering.dist_to_center;
+  DistanceOracle& oracle = out.oracle;
+  oracle.num_clusters_ = out.clustering.num_clusters();
+  oracle.max_radius_ = out.clustering.max_radius();
+  oracle.cluster_of_ = out.clustering.assignment;
+  oracle.dist_to_center_ = out.clustering.dist_to_center;
   // The dense APSP is the deliberate O(k²) cost; cap via apsp_matrix.
-  oracle.apsp_ = apsp_matrix(q.weighted, /*max_nodes=*/40000);
-  return oracle;
+  oracle.apsp_ = apsp_matrix(out.quotient, /*max_nodes=*/40000);
+
+  options.emit("oracle.tau", static_cast<double>(tau));
+  options.emit("oracle.quotient_nodes",
+               static_cast<double>(out.quotient.num_nodes()));
+  options.emit("oracle.quotient_half_edges",
+               static_cast<double>(out.quotient.num_half_edges()));
+  options.emit("oracle.apsp_small_path",
+               out.quotient.num_nodes() <= kApspSmallGraphNodes ? 1.0 : 0.0);
+  return out;
+}
+
+DistanceOracle DistanceOracle::build(const Graph& g,
+                                     const DistanceOracleOptions& options) {
+  return std::move(build_full(g, options).oracle);
 }
 
 std::uint64_t DistanceOracle::upper_bound(NodeId u, NodeId v) const {

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "api/run_context.hpp"
 #include "core/cluster.hpp"
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
+#include "graph/weighted.hpp"
 
 namespace gclus {
 
@@ -27,8 +29,9 @@ namespace gclus {
 /// Compatibility note: this is a deliberate break from the pre-RunContext
 /// library, which passed the seed through verbatim — oracles rebuilt from
 /// stored seeds will choose a different (equally valid) clustering.  All
-/// quality guarantees are distribution-level, and the oracle has no
-/// serialized format yet, so nothing persisted depends on the old stream.
+/// quality guarantees are distribution-level, and the serialized artifact
+/// (server/artifact.hpp) stores the resolved knobs, not the stream, so
+/// nothing persisted depends on the old behavior.
 struct DistanceOracleOptions : RunContext {
   /// 0 means "choose τ automatically" as max(1, √n / log²n) — large enough
   /// to keep the quotient near √n nodes so the APSP matrix stays linear
@@ -39,11 +42,24 @@ struct DistanceOracleOptions : RunContext {
   bool use_cluster2 = true;
 };
 
+/// τ actually used for an n-node build when `tau` may be the 0 sentinel.
+[[nodiscard]] std::uint32_t resolve_oracle_tau(NodeId n, std::uint32_t tau);
+
+struct OracleBuild;
+
 class DistanceOracle {
  public:
   /// Builds the oracle over the *connected* graph `g`.
   static DistanceOracle build(const Graph& g,
                               const DistanceOracleOptions& options = {});
+
+  /// Like build, but also hands back the clustering and weighted quotient
+  /// the oracle was derived from.  Telemetry (when options.telemetry is
+  /// set): "oracle.tau", "oracle.quotient_nodes",
+  /// "oracle.quotient_half_edges", "oracle.apsp_small_path" (1 when the
+  /// linear-scan small-quotient APSP path was taken).
+  static OracleBuild build_full(const Graph& g,
+                                const DistanceOracleOptions& options = {});
 
   /// Upper bound on dist(u, v).  Exact 0 when u == v.
   [[nodiscard]] std::uint64_t upper_bound(NodeId u, NodeId v) const;
@@ -59,7 +75,18 @@ class DistanceOracle {
   /// Bytes of storage: labels + APSP matrix.
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// The stored label arrays and the dense k×k row-major APSP matrix —
+  /// the exact payload the artifact sidecar serializes.
+  [[nodiscard]] std::span<const ClusterId> cluster_of() const {
+    return cluster_of_;
+  }
+  [[nodiscard]] std::span<const Dist> dist_to_center() const {
+    return dist_to_center_;
+  }
+  [[nodiscard]] std::span<const Weight> apsp() const { return apsp_; }
+
  private:
+  friend struct OracleBuild;
   DistanceOracle() = default;
 
   std::vector<ClusterId> cluster_of_;
@@ -67,6 +94,16 @@ class DistanceOracle {
   std::vector<Weight> apsp_;  // num_clusters_² row-major
   std::size_t num_clusters_ = 0;
   Dist max_radius_ = 0;
+};
+
+/// Everything the oracle build produces, for callers that persist or
+/// inspect the intermediate structures (the artifact serializer stores
+/// the clustering labels and the quotient next to the APSP matrix).
+struct OracleBuild {
+  Clustering clustering;
+  WeightedGraph quotient;
+  DistanceOracle oracle;
+  std::uint32_t resolved_tau = 0;
 };
 
 }  // namespace gclus

@@ -25,10 +25,13 @@
 #include "common/check.hpp"
 #include "common/faultpoint.hpp"
 #include "graph/builder.hpp"
+#include "graph/wire.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
 
 namespace gclus::io {
+
+using namespace wire;  // the shared little-endian wire dialect
 
 namespace {
 
@@ -43,95 +46,6 @@ constexpr std::uint32_t kCsr2FlagWeights = 1u << 0;
 constexpr std::uint32_t kCsr2KnownFlags = kCsr2FlagWeights;
 constexpr std::uint64_t kCsr2HeaderBytes = 72;
 constexpr std::uint64_t kCsr2Align = 64;
-
-constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-constexpr bool kLittleEndian = std::endian::native == std::endian::little;
-
-template <typename T>
-T byteswap_int(T v) {
-  auto u = static_cast<std::uint64_t>(v);
-  if constexpr (sizeof(T) == 4) {
-    u = __builtin_bswap32(static_cast<std::uint32_t>(u));
-  } else {
-    u = __builtin_bswap64(u);
-  }
-  return static_cast<T>(u);
-}
-
-template <typename T>
-T to_le(T v) {
-  return kLittleEndian ? v : byteswap_int(v);
-}
-template <typename T>
-T from_le(T v) {
-  return to_le(v);
-}
-
-std::uint64_t align_up(std::uint64_t pos, std::uint64_t align) {
-  return (pos + align - 1) / align * align;
-}
-
-/// Checksums `count` elements of `data` in their little-endian byte
-/// representation (a straight pass over memory on LE hosts).
-template <typename T>
-std::uint64_t fnv1a_array_le(std::uint64_t h, const T* data,
-                             std::uint64_t count) {
-  if constexpr (kLittleEndian) {
-    return fnv1a(h, data, static_cast<std::size_t>(count) * sizeof(T));
-  } else {
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const T le = to_le(data[i]);
-      h = fnv1a(h, &le, sizeof(T));
-    }
-    return h;
-  }
-}
-
-template <typename T>
-void write_array_le(std::ofstream& out, const T* data, std::uint64_t count) {
-  if constexpr (kLittleEndian) {
-    out.write(reinterpret_cast<const char*>(data),
-              static_cast<std::streamsize>(count * sizeof(T)));
-  } else {
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const T le = to_le(data[i]);
-      out.write(reinterpret_cast<const char*>(&le), sizeof(T));
-    }
-  }
-}
-
-template <typename T>
-void put_le(std::ofstream& out, T v) {
-  const T le = to_le(v);
-  out.write(reinterpret_cast<const char*>(&le), sizeof(T));
-}
-
-template <typename T>
-T read_le_at(const std::byte* p) {
-  T v;
-  std::memcpy(&v, p, sizeof(T));
-  return from_le(v);
-}
-
-void write_zeros(std::ofstream& out, std::uint64_t count) {
-  static constexpr std::array<char, 64> zeros{};
-  while (count > 0) {
-    const std::uint64_t n = std::min<std::uint64_t>(count, zeros.size());
-    out.write(zeros.data(), static_cast<std::streamsize>(n));
-    count -= n;
-  }
-}
 
 // ---- file mapping -----------------------------------------------------------
 
@@ -666,17 +580,6 @@ struct LoadedCsr2 {
   std::vector<Weight> owned_weights;
 };
 
-template <typename T>
-std::vector<T> decode_array_le(const std::byte* p, std::uint64_t count) {
-  std::vector<T> out(static_cast<std::size_t>(count));
-  if (count == 0) return out;
-  std::memcpy(out.data(), p, static_cast<std::size_t>(count) * sizeof(T));
-  if constexpr (!kLittleEndian) {
-    for (auto& v : out) v = from_le(v);
-  }
-  return out;
-}
-
 /// Loads + validates a CSR v2 file into spans (mapped) or vectors
 /// (copied).
 Status load_csr2(const std::string& path, const CsrLoadOptions& opts,
@@ -774,6 +677,27 @@ bool mmap_supported() {
 #else
   return false;
 #endif
+}
+
+StatusOr<FileContents> read_or_map_file(const std::string& path,
+                                        bool prefer_mmap) {
+  if (prefer_mmap && mmap_supported()) {
+    if (auto mapping = MappedFile::map(path)) {
+      FileContents fc;
+      fc.bytes = {mapping->data(), mapping->size()};
+      fc.mapped = true;
+      fc.keepalive = std::move(mapping);
+      return fc;
+    }
+    // Fall through to the read() path — the kAuto degradation.
+  }
+  std::vector<std::byte> bytes;
+  GCLUS_ASSIGN_OR_RETURN(bytes, read_file_bytes(path));
+  auto owned = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  FileContents fc;
+  fc.bytes = {owned->data(), owned->size()};
+  fc.keepalive = std::move(owned);
+  return fc;
 }
 
 Status write_csr(const Graph& g, const std::string& path) {

@@ -49,9 +49,12 @@
 // to the read() path with byte-identical results.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -178,5 +181,26 @@ void write_csr_file(const WeightedGraph& g, const std::string& path);
 
 /// True when this platform supports mmap-backed loading (POSIX).
 [[nodiscard]] bool mmap_supported();
+
+// ---- raw file bytes ---------------------------------------------------------
+
+/// Read-only contents of a whole file.  `keepalive` pins the backing
+/// storage (an mmap-ed region or an owned buffer) for as long as any copy
+/// of it lives, so `bytes` may be viewed in place — the same non-owning
+/// contract as mmap-loaded Graphs.
+struct FileContents {
+  std::span<const std::byte> bytes;
+  std::shared_ptr<const void> keepalive;
+  bool mapped = false;
+};
+
+/// Maps (when `prefer_mmap` and the platform allows — falling back to a
+/// plain read, the CsrLoadMode::kAuto degradation) or reads `path`.
+/// kIoError when the file cannot be opened or read.  Covered by the
+/// "io.open" / "io.mmap" / "io.read" fault points; consumers of other
+/// formats (the oracle artifact sidecar) build on this instead of
+/// reimplementing the mapping path.
+[[nodiscard]] StatusOr<FileContents> read_or_map_file(const std::string& path,
+                                                      bool prefer_mmap = true);
 
 }  // namespace gclus::io

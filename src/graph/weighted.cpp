@@ -102,15 +102,49 @@ Weight weighted_diameter_exact(const WeightedGraph& g) {
   return diam;
 }
 
+namespace {
+
+/// Linear-scan Dijkstra writing distances directly into `dist` (length n,
+/// pre-filled with kInfWeight).  See kApspSmallGraphNodes for why this
+/// exists; the settled mask fits a single 64-bit word at that size.
+void dijkstra_small_into(const WeightedGraph& g, NodeId source,
+                         std::span<Weight> dist) {
+  const NodeId n = g.num_nodes();
+  std::uint64_t settled = 0;
+  dist[source] = 0;
+  for (NodeId round = 0; round < n; ++round) {
+    NodeId u = n;
+    Weight best = kInfWeight;
+    for (NodeId v = 0; v < n; ++v) {
+      if ((settled & (1ULL << v)) == 0 && dist[v] < best) {
+        best = dist[v];
+        u = v;
+      }
+    }
+    if (u == n) break;  // only unreachable nodes left
+    settled |= 1ULL << u;
+    for (const auto& [v, w] : g.neighbors(u)) {
+      dist[v] = std::min(dist[v], best + w);
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<Weight> apsp_matrix(const WeightedGraph& g, NodeId max_nodes) {
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n <= max_nodes,
               "apsp_matrix: quotient graph too large for dense APSP");
   std::vector<Weight> mat(static_cast<std::size_t>(n) * n, kInfWeight);
   for (NodeId v = 0; v < n; ++v) {
-    const auto dist = dijkstra(g, v);
-    std::copy(dist.begin(), dist.end(),
-              mat.begin() + static_cast<std::size_t>(v) * n);
+    const std::span<Weight> row{mat.data() + static_cast<std::size_t>(v) * n,
+                                n};
+    if (n <= kApspSmallGraphNodes) {
+      dijkstra_small_into(g, v, row);
+    } else {
+      const auto dist = dijkstra(g, v);
+      std::copy(dist.begin(), dist.end(), row.begin());
+    }
   }
   return mat;
 }

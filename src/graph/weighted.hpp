@@ -76,6 +76,15 @@ class WeightedGraph {
 /// quotient graphs (thousands of nodes), not raw inputs.
 [[nodiscard]] Weight weighted_diameter_exact(const WeightedGraph& g);
 
+/// Below this node count apsp_matrix skips the binary heap and runs
+/// linear-scan Dijkstra straight over its output row: for tiny quotient
+/// graphs (deep meshes and paths decompose into a handful of clusters)
+/// the O(n²) scan beats heap traffic and allocation, and the matrix row
+/// doubles as the tentative-distance array so the sweep allocates nothing
+/// per source.  Distances are exact either way — only the schedule
+/// changes — so results are bit-identical across the two paths.
+inline constexpr NodeId kApspSmallGraphNodes = 64;
+
 /// All-pairs shortest paths as a dense n×n matrix (row-major).  The
 /// distance-oracle construction of §4 stores exactly this for the quotient
 /// graph; n is capped to keep the O(n²) memory deliberate.

@@ -1,0 +1,174 @@
+#include "server/server.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gclus::server {
+
+namespace {
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+QueryResult execute_query(const QueryEngine& engine, const Query& q,
+                          QueryScratch& scratch,
+                          std::vector<ClusterId>& neighborhood_buf) {
+  switch (q.kind) {
+    case QueryKind::kApproxDistance: {
+      const auto r = engine.approx_distance(q.u, q.arg);
+      if (!r.ok()) return {r.status().code(), 0};
+      return {StatusCode::kOk, *r};
+    }
+    case QueryKind::kSameCluster: {
+      const auto r = engine.same_cluster(q.u, q.arg);
+      if (!r.ok()) return {r.status().code(), 0};
+      return {StatusCode::kOk, *r ? std::uint64_t{1} : std::uint64_t{0}};
+    }
+    case QueryKind::kClusterNeighborhood: {
+      const Status st =
+          engine.cluster_neighborhood(q.u, q.arg, scratch, neighborhood_buf);
+      if (!st.ok()) return {st.code(), 0};
+      // Digest the sorted list so the result stays one fixed-width word;
+      // folding the size in distinguishes e.g. {0} from {0, 0-prefix}.
+      std::uint64_t h = neighborhood_buf.size();
+      for (const ClusterId c : neighborhood_buf) h = hash_combine(h, c);
+      return {StatusCode::kOk, h};
+    }
+  }
+  // An unknown kind byte is a malformed request, not a server failure.
+  return {StatusCode::kInvalidArgument, 0};
+}
+
+QueryServer::QueryServer(const QueryEngine& engine, ServerOptions opts)
+    : engine_(engine) {
+  std::size_t workers = opts.workers != 0
+                            ? opts.workers
+                            : env_size_t("GCLUS_SERVER_WORKERS", 4);
+  queue_depth_ = opts.queue_depth != 0
+                     ? opts.queue_depth
+                     : env_size_t("GCLUS_SERVER_QUEUE_DEPTH", 128);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryServer::~QueryServer() { shutdown(); }
+
+const std::vector<QueryResult>& QueryServer::Ticket::wait() const {
+  std::unique_lock<std::mutex> lock(batch_->mu);
+  batch_->cv.wait(lock, [&] { return batch_->done; });
+  return batch_->results;
+}
+
+double QueryServer::Ticket::latency_s() const {
+  return std::chrono::duration<double>(batch_->completed_at -
+                                       batch_->enqueued_at)
+      .count();
+}
+
+QueryServer::Ticket QueryServer::enqueue_locked(
+    std::unique_lock<std::mutex>& lock, std::vector<Query> queries) {
+  auto batch = std::make_shared<Batch>();
+  batch->queries = std::move(queries);
+  batch->enqueued_at = std::chrono::steady_clock::now();
+  queue_.push_back(batch);
+  lock.unlock();
+  not_empty_.notify_one();
+  return Ticket(std::move(batch));
+}
+
+StatusOr<QueryServer::Ticket> QueryServer::try_submit(
+    std::vector<Query> queries) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    return UnavailableError("query server is shut down");
+  }
+  if (queue_.size() >= queue_depth_) {
+    shed_batches_.fetch_add(1, std::memory_order_relaxed);
+    shed_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+    return ResourceExhaustedError(
+        "query server overloaded: " + std::to_string(queue_.size()) +
+        " batches queued (depth " + std::to_string(queue_depth_) + ")");
+  }
+  return enqueue_locked(lock, std::move(queries));
+}
+
+QueryServer::Ticket QueryServer::submit(std::vector<Query> queries) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return stop_ || queue_.size() < queue_depth_; });
+  GCLUS_CHECK(!stop_, "QueryServer::submit after shutdown");
+  return enqueue_locked(lock, std::move(queries));
+}
+
+void QueryServer::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryServer::worker_loop() {
+  QueryScratch scratch;
+  std::vector<ClusterId> neighborhood_buf;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and fully drained
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+
+    Batch& b = *batch;
+    b.results.resize(b.queries.size());
+    std::uint64_t invalid = 0;
+    for (std::size_t i = 0; i < b.queries.size(); ++i) {
+      b.results[i] =
+          execute_query(engine_, b.queries[i], scratch, neighborhood_buf);
+      if (b.results[i].code != StatusCode::kOk) ++invalid;
+    }
+    queries_served_.fetch_add(b.queries.size(), std::memory_order_relaxed);
+    batches_served_.fetch_add(1, std::memory_order_relaxed);
+    if (invalid > 0) {
+      invalid_queries_.fetch_add(invalid, std::memory_order_relaxed);
+    }
+    {
+      std::unique_lock<std::mutex> lock(b.mu);
+      b.completed_at = std::chrono::steady_clock::now();
+      b.done = true;
+    }
+    b.cv.notify_all();
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats s;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.batches_served = batches_served_.load(std::memory_order_relaxed);
+  s.invalid_queries = invalid_queries_.load(std::memory_order_relaxed);
+  s.shed_batches = shed_batches_.load(std::memory_order_relaxed);
+  s.shed_queries = shed_queries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gclus::server

@@ -1,7 +1,7 @@
 // The fault-injection capstone: every registered fault point is forced —
-// one-shot and persistently — against the three I/O-facing subsystems
-// (CSR v2 round-trip, the MR out-of-core shuffle, the dataset cache),
-// asserting the process never aborts: each run either returns a clean
+// one-shot and persistently — against the four I/O-facing subsystems
+// (CSR v2 round-trip, the MR out-of-core shuffle, the dataset cache, the
+// oracle artifact sidecar), asserting the process never aborts: each run either returns a clean
 // error Status or completes in degraded mode with output byte-identical
 // to the fault-free reference.  A header/payload bit-flip sweep covers
 // silent on-disk corruption the same way, and an end-to-end mr.cluster
@@ -29,6 +29,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mapreduce/engine.hpp"
+#include "server/engine.hpp"
 #include "test_util.hpp"
 #include "workloads/datasets.hpp"
 
@@ -144,6 +145,43 @@ void run_cache_scenario(const std::string& cache_dir, const std::string& key) {
   ::unsetenv("GCLUS_DATASET_CACHE_DIR");
 }
 
+// --- Scenario 4: the oracle artifact sidecar. --------------------------------
+// load_or_build must always hand back a working engine whose answers are
+// byte-identical to the fault-free build: a failed or corrupt load is
+// evicted and rebuilt, and a failed republish only costs the *next*
+// restart its fast path — never the caller its engine.
+DistanceOracleOptions artifact_opts() {
+  DistanceOracleOptions opts;
+  opts.seed = 11;
+  opts.tau = 4;
+  return opts;
+}
+
+std::vector<std::uint64_t> artifact_answers(const server::QueryEngine& e) {
+  std::vector<std::uint64_t> out;
+  for (NodeId u = 0; u < e.num_nodes(); u += 7) {
+    for (NodeId v = 0; v < e.num_nodes(); v += 5) {
+      const auto d = e.approx_distance(u, v);
+      EXPECT_TRUE(d.ok());
+      out.push_back(d.ok() ? *d : ~std::uint64_t{0});
+    }
+  }
+  return out;
+}
+
+void run_artifact_scenario(const Graph& g,
+                           const std::vector<std::uint64_t>& ref,
+                           const std::string& path) {
+  // Two rounds: the first typically rebuilds (no sidecar yet), the second
+  // exercises the load path against whatever the first one published.
+  for (int round = 0; round < 2; ++round) {
+    const auto engine =
+        server::QueryEngine::load_or_build(Graph(g), path, artifact_opts());
+    ASSERT_TRUE(engine.ok()) << engine.status().to_string();
+    EXPECT_EQ(artifact_answers(*engine), ref);
+  }
+}
+
 TEST(FaultSweep, EveryPointFailsCleanlyOrDegrades) {
   ASSERT_TRUE(kFastRetries);
   fault::disarm_all();
@@ -153,6 +191,11 @@ TEST(FaultSweep, EveryPointFailsCleanlyOrDegrades) {
 
   const auto mr_ref = run_mr(base + "/mr-ref-p", base + "/mr-ref-f");
   ASSERT_TRUE(mr_ref.ok()) << mr_ref.status().to_string();
+
+  const auto art_ref_engine =
+      server::QueryEngine::build(Graph(csr_ref), artifact_opts());
+  ASSERT_TRUE(art_ref_engine.ok()) << art_ref_engine.status().to_string();
+  const std::vector<std::uint64_t> art_ref = artifact_answers(*art_ref_engine);
 
   const std::pair<const char*, fault::FaultSpec> modes[] = {
       {"once", fault::FaultSpec::once()},
@@ -171,6 +214,7 @@ TEST(FaultSweep, EveryPointFailsCleanlyOrDegrades) {
         EXPECT_FALSE(mr_out.status().message().empty());
       }
       run_cache_scenario(base + "/cache", std::string("k-") + name + "-" + tag);
+      run_artifact_scenario(csr_ref, art_ref, stem + ".orc");
       fault::disarm_all();
     }
     // The sweep is only a sweep if forcing the point actually reached it.
