@@ -118,6 +118,7 @@ def main():
 
     failures = 0
     missing = 0
+    stale = []
     rows = []
     for bf in baseline_files:
         bf_path = os.path.join(args.baselines, bf)
@@ -134,6 +135,11 @@ def main():
 
         for path, spec in baseline["metrics"].items():
             measured = lookup(results, path)
+            if measured is None:
+                # A baseline metric the fresh results no longer emit is a
+                # hard error in every mode: a renamed or deleted metric
+                # must update the baseline file, not drop out of the gate.
+                stale.append(f"{bf}:{path}")
             if args.update and measured is not None and \
                     spec.get("direction") != "true":
                 spec["value"] = measured
@@ -156,6 +162,16 @@ def main():
     for status, name, detail in rows:
         print(f"{status:<10} {name:<{width}}  {detail}")
 
+    if stale:
+        # In every mode — including --update and --inject-slowdown, which
+        # previously shrugged these off — a stale baseline entry is fatal:
+        # it means a bench metric was renamed or removed without touching
+        # the baseline, so the gate would be checking a ghost.
+        for name in stale:
+            print(f"STALE BASELINE: {name} is gated but absent from the "
+                  f"fresh results — renamed or removed? update the baseline "
+                  f"file to match the bench output", file=sys.stderr)
+        return 2
     if args.update:
         print(f"\nupdated baselines in {args.baselines}")
         return 0

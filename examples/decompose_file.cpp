@@ -9,9 +9,17 @@
 //   --growth.mode=push|pull|auto --growth.alpha=F --growth.beta=F
 //   --format=auto|edges|csr2   input format (auto sniffs the CSR v2 magic)
 //   --load=auto|mmap|copy      CSR v2 load mode (auto prefers mmap)
+//   --layout=plain|compressed  in-memory representation for the run: plain
+//                              CSR arrays, or the Rice-coded compressed
+//                              adjacency (2-4x smaller; growth-engine
+//                              algorithms run on it natively, others
+//                              decompress transparently)
 //   --convert=OUT.csr2         convert the input to CSR v2 and exit —
 //                              preprocess a SNAP edge list once, then
 //                              mmap it on every subsequent run
+//   --compress                 with --convert: write the compressed CSR v2
+//                              layout instead and report the achieved
+//                              compression ratio
 //   --KEY=VALUE                algorithm parameter, validated against the
 //                              registry schema (e.g. --tau=64, --beta=0.4)
 //
@@ -38,6 +46,7 @@
 #include <filesystem>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -113,7 +122,9 @@ int main(int argc, char** argv) {
   std::string path;
   std::string algo = "cluster";
   std::string format = "auto";
+  std::string layout = "plain";
   std::string convert_out;
+  bool compress_out = false;
   AlgoParams params;
   RunContext ctx;
   io::CsrLoadOptions load_opts;
@@ -124,6 +135,10 @@ int main(int argc, char** argv) {
     if (arg == "--list") {
       print_registry();
       return 0;
+    }
+    if (arg == "--compress") {
+      compress_out = true;
+      continue;
     }
     if (arg.rfind("--", 0) != 0) {
       path = arg;  // positional: the edge-list file
@@ -159,6 +174,13 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 1;
       }
+    } else if (key == "layout") {
+      if (value != "plain" && value != "compressed") {
+        std::fprintf(stderr, "--layout=%s (expected plain|compressed)\n",
+                     value.c_str());
+        return 1;
+      }
+      layout = value;
     } else if (key == "convert") {
       convert_out = value;
     } else if (key == "seed") {
@@ -199,20 +221,84 @@ int main(int argc, char** argv) {
   // the exit-1 flag/parameter mistakes above.
   const bool input_is_csr =
       format == "csr2" || (format == "auto" && io::is_csr_file(path));
-  StatusOr<Graph> loaded = input_is_csr ? io::load_csr(path, load_opts)
-                                        : io::load_edge_list(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "decompose_file: %s\n",
-                 loaded.status().to_string().c_str());
-    return 2;
+  const auto input_info = io::probe_csr_file(path);
+  const bool input_compressed =
+      input_is_csr && input_info && input_info->compressed;
+
+  Graph g;
+  std::optional<CompressedGraph> cg;
+  if (layout == "compressed" && input_compressed && convert_out.empty()) {
+    // Compressed file, compressed run: view the file's sections in place —
+    // no decode, no plain arrays.
+    auto lc = io::load_compressed_csr(path, load_opts);
+    if (!lc.ok()) {
+      std::fprintf(stderr, "decompose_file: %s\n",
+                   lc.status().to_string().c_str());
+      return 2;
+    }
+    cg = std::move(lc).value();
+    std::printf(
+        "loaded %s (compressed CSR v2, zero-copy): %u nodes, %llu edges, "
+        "%.2f bytes/edge\n",
+        path.c_str(), cg->num_nodes(),
+        static_cast<unsigned long long>(cg->num_edges()),
+        static_cast<double>(cg->memory_bytes()) /
+            static_cast<double>(std::max<std::uint64_t>(1, cg->num_edges())));
+    // The summary below (components, validation, quotient) needs the plain
+    // arrays once; the *algorithm* still runs on the compressed graph.
+    g = cg->decompress();
+  } else {
+    StatusOr<Graph> loaded = input_is_csr ? io::load_csr(path, load_opts)
+                                          : io::load_edge_list(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "decompose_file: %s\n",
+                   loaded.status().to_string().c_str());
+      return 2;
+    }
+    g = std::move(loaded).value();
+    std::printf("loaded %s (%s%s): %u nodes, %llu edges\n", path.c_str(),
+                input_is_csr ? "CSR v2" : "edge list",
+                g.owns_storage() ? "" : ", mmap-backed", g.num_nodes(),
+                static_cast<unsigned long long>(g.num_edges()));
+    if (layout == "compressed" && convert_out.empty()) {
+      cg = compress(g);
+      std::printf("compressed in memory: %llu -> %llu adjacency bytes\n",
+                  static_cast<unsigned long long>(
+                      (static_cast<std::uint64_t>(g.num_nodes()) + 1) * 8 +
+                      g.num_half_edges() * 4),
+                  static_cast<unsigned long long>(cg->memory_bytes()));
+    }
   }
-  Graph g = std::move(loaded).value();
-  std::printf("loaded %s (%s%s): %u nodes, %llu edges\n", path.c_str(),
-              input_is_csr ? "CSR v2" : "edge list",
-              g.owns_storage() ? "" : ", mmap-backed", g.num_nodes(),
-              static_cast<unsigned long long>(g.num_edges()));
 
   if (!convert_out.empty()) {
+    // What the plain (uncompressed) CSR v2 writer would produce for this
+    // graph: 64-byte-aligned header + offsets + neighbors sections.
+    const auto align64 = [](std::uint64_t x) { return (x + 63) / 64 * 64; };
+    const std::uint64_t plain_bytes =
+        align64(align64(72) +
+                (static_cast<std::uint64_t>(g.num_nodes()) + 1) * 8) +
+        g.num_half_edges() * 4;
+    if (compress_out) {
+      const CompressedGraph out_cg = compress(g);
+      if (const Status st = io::write_csr(out_cg, convert_out); !st.ok()) {
+        std::fprintf(stderr, "decompose_file: %s\n", st.to_string().c_str());
+        return 2;
+      }
+      const auto info = io::probe_csr_file(convert_out);
+      const std::uint64_t file_bytes = info ? info->file_bytes : 0;
+      std::printf(
+          "wrote compressed CSR v2 %s: %llu bytes (plain would be %llu — "
+          "%.2fx compression)\n",
+          convert_out.c_str(), static_cast<unsigned long long>(file_bytes),
+          static_cast<unsigned long long>(plain_bytes),
+          static_cast<double>(plain_bytes) /
+              static_cast<double>(std::max<std::uint64_t>(1, file_bytes)));
+      std::printf(
+          "reload it with: decompose_file %s --format=csr2 "
+          "--layout=compressed\n",
+          convert_out.c_str());
+      return 0;
+    }
     if (const Status st = io::write_csr(g, convert_out); !st.ok()) {
       std::fprintf(stderr, "decompose_file: %s\n", st.to_string().c_str());
       return 2;
@@ -243,7 +329,8 @@ int main(int argc, char** argv) {
   RecordingTelemetry telemetry;
   ctx.telemetry = &telemetry;
 
-  const Clustering c = registry().run(algo, g, params, ctx);
+  const Clustering c = cg.has_value() ? registry().run(algo, *cg, params, ctx)
+                                      : registry().run(algo, g, params, ctx);
   std::printf("%s: %u clusters, max radius %u, %zu growth steps%s\n",
               algo.c_str(), c.num_clusters(), c.max_radius(), c.growth_steps,
               c.validate(g) ? "" : "  [VALIDATION FAILED]");

@@ -48,9 +48,9 @@ const ParamSpec kThresholdSpec{"threshold_constant", Type::kDouble, "8",
 
 /// Reads k with a guard: a center-count parameter is meaningless above n,
 /// so it is clamped (small test corpus graphs run fine with the default).
-NodeId read_k(const Graph& g, const AlgoParams& params, NodeId fallback) {
+NodeId read_k(NodeId num_nodes, const AlgoParams& params, NodeId fallback) {
   const NodeId k = params.get_u32("k", fallback);
-  return std::max<NodeId>(1, std::min<NodeId>(k, g.num_nodes()));
+  return std::max<NodeId>(1, std::min<NodeId>(k, num_nodes));
 }
 
 /// Nearest-center Voronoi partition of `centers`, via the owner-tracking
@@ -83,18 +83,36 @@ Clustering clustering_from_centers(const Graph& g,
   return out;
 }
 
+// --- Growth-engine algorithms run natively on either representation: the
+// same templated adapter body serves as `run` (Graph) and `run_compressed`
+// (CompressedGraph), so a compressed registry run shares every line of
+// parameter translation with the plain one. ---
+
+template <class G>
+Clustering run_cluster(const G& g, const AlgoParams& p, RunContext& ctx) {
+  ClusterOptions o;
+  o.context() = ctx;
+  o.selection_constant = p.get_double("selection_constant", 4.0);
+  o.threshold_constant = p.get_double("threshold_constant", 8.0);
+  return cluster(g, p.get_u32("tau", 8), o);
+}
+
 void register_cluster(Registry& r) {
   r.add({"cluster",
          "CLUSTER(τ) — Algorithm 1: batched random centers, grow until half "
          "the uncovered nodes are covered",
          {kTauSpec, kSelectionSpec, kThresholdSpec},
-         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
-           ClusterOptions o;
-           o.context() = ctx;
-           o.selection_constant = p.get_double("selection_constant", 4.0);
-           o.threshold_constant = p.get_double("threshold_constant", 8.0);
-           return cluster(g, p.get_u32("tau", 8), o);
-         }});
+         run_cluster<Graph>,
+         run_cluster<CompressedGraph>});
+}
+
+template <class G>
+Clustering run_cluster2(const G& g, const AlgoParams& p, RunContext& ctx) {
+  ClusterOptions o;
+  o.context() = ctx;
+  o.selection_constant = p.get_double("selection_constant", 4.0);
+  o.threshold_constant = p.get_double("threshold_constant", 8.0);
+  return cluster2(g, p.get_u32("tau", 8), o).clustering;
 }
 
 void register_cluster2(Registry& r) {
@@ -102,13 +120,8 @@ void register_cluster2(Registry& r) {
          "CLUSTER2(τ) — Algorithm 2: preliminary CLUSTER run learns R_ALG, "
          "then fixed 2·R_ALG growth quotas per iteration",
          {kTauSpec, kSelectionSpec, kThresholdSpec},
-         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
-           ClusterOptions o;
-           o.context() = ctx;
-           o.selection_constant = p.get_double("selection_constant", 4.0);
-           o.threshold_constant = p.get_double("threshold_constant", 8.0);
-           return cluster2(g, p.get_u32("tau", 8), o).clustering;
-         }});
+         run_cluster2<Graph>,
+         run_cluster2<CompressedGraph>});
 }
 
 void register_weighted_cluster(Registry& r) {
@@ -132,7 +145,15 @@ void register_weighted_cluster(Registry& r) {
            out.iterations = wc.iterations;
            finalize_cluster_stats(out);
            return out;
-         }});
+         },
+         /*run_compressed=*/nullptr});
+}
+
+template <class G>
+Clustering run_mpx(const G& g, const AlgoParams& p, RunContext& ctx) {
+  baselines::MpxOptions o;
+  o.context() = ctx;
+  return baselines::mpx(g, p.get_double("beta", 0.5), o);
 }
 
 void register_mpx(Registry& r) {
@@ -141,11 +162,17 @@ void register_mpx(Registry& r) {
          "clustering baseline",
          {{"beta", Type::kDouble, "0.5",
            "exponential-shift rate; larger β → more, smaller clusters"}},
-         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
-           baselines::MpxOptions o;
-           o.context() = ctx;
-           return baselines::mpx(g, p.get_double("beta", 0.5), o);
-         }});
+         run_mpx<Graph>,
+         run_mpx<CompressedGraph>});
+}
+
+template <class G>
+Clustering run_random_centers(const G& g, const AlgoParams& p,
+                              RunContext& ctx) {
+  baselines::RandomCentersOptions o;
+  o.context() = ctx;
+  return baselines::random_centers_clustering(
+      g, read_k(g.num_nodes(), p, 16), o);
 }
 
 void register_random_centers(Registry& r) {
@@ -153,12 +180,8 @@ void register_random_centers(Registry& r) {
          "one-shot uniform random centers grown to coverage (Meyer-style "
          "baseline)",
          {{"k", Type::kU32, "16", "number of centers (clamped to n)"}},
-         [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
-           baselines::RandomCentersOptions o;
-           o.context() = ctx;
-           return baselines::random_centers_clustering(g, read_k(g, p, 16),
-                                                       o);
-         }});
+         run_random_centers<Graph>,
+         run_random_centers<CompressedGraph>});
 }
 
 void register_gonzalez(Registry& r) {
@@ -169,10 +192,11 @@ void register_gonzalez(Registry& r) {
           {"first", Type::kU32, "0", "seed node of the sweep"}},
          [](const Graph& g, const AlgoParams& p, RunContext& ctx) {
            const auto res = baselines::gonzalez_kcenter(
-               g, read_k(g, p, 8), p.get_u32("first", 0));
+               g, read_k(g.num_nodes(), p, 8), p.get_u32("first", 0));
            ctx.emit("gonzalez.radius", static_cast<double>(res.radius));
            return clustering_from_centers(g, res.centers);
-         }});
+         },
+         /*run_compressed=*/nullptr});
 }
 
 void register_kcenter(Registry& r) {
@@ -186,13 +210,15 @@ void register_kcenter(Registry& r) {
            KCenterOptions o;
            o.context() = ctx;
            o.tau_scale = p.get_double("tau_scale", 1.0);
-           const KCenterResult res = kcenter_approx(g, read_k(g, p, 8), o);
+           const KCenterResult res =
+               kcenter_approx(g, read_k(g.num_nodes(), p, 8), o);
            ctx.emit("kcenter.radius", static_cast<double>(res.radius));
            ctx.emit("kcenter.raw_clusters",
                     static_cast<double>(res.raw_clusters));
            ctx.emit("kcenter.tau", static_cast<double>(res.tau));
            return clustering_from_centers(g, res.centers);
-         }});
+         },
+         /*run_compressed=*/nullptr});
 }
 
 // --- MR-emulated algorithms (mr.*): the same decompositions executed in
@@ -256,7 +282,8 @@ void add_mr(Registry& r, std::string name, std::string summary,
            Clustering c = body(engine, g, p, ctx);
            emit_mr_metrics(ctx, engine);
            return c;
-         }});
+         },
+         /*run_compressed=*/nullptr});
 }
 
 void register_mr_algorithms(Registry& r) {
@@ -329,7 +356,8 @@ void register_oracle(Registry& r) {
            o.use_cluster2 = p.get_bool("use_cluster2", true);
            OracleBuild build = DistanceOracle::build_full(g, o);
            return std::move(build.clustering);
-         }});
+         },
+         /*run_compressed=*/nullptr});
 }
 
 }  // namespace

@@ -119,9 +119,17 @@ Clustering Registry::run(const std::string& name, const Graph& g,
   return std::move(result).value();
 }
 
-StatusOr<Clustering> Registry::try_run(const std::string& name, const Graph& g,
-                                       const AlgoParams& params,
-                                       RunContext& ctx) const {
+Clustering Registry::run(const std::string& name, const CompressedGraph& g,
+                         const AlgoParams& params, RunContext& ctx) const {
+  auto result = try_run(name, g, params, ctx);
+  GCLUS_CHECK(result.ok(), result.status().message());
+  return std::move(result).value();
+}
+
+/// Selection checks shared by both try_run overloads: resolves the
+/// algorithm and rejects undeclared parameter keys.
+StatusOr<const AlgoInfo*> Registry::select(const std::string& name,
+                                           const AlgoParams& params) const {
   const AlgoInfo* info = find(name);
   if (info == nullptr) {
     std::string known;
@@ -145,7 +153,26 @@ StatusOr<Clustering> Registry::try_run(const std::string& name, const Graph& g,
                                   "'; declared:" + known);
     }
   }
+  return info;
+}
+
+StatusOr<Clustering> Registry::try_run(const std::string& name, const Graph& g,
+                                       const AlgoParams& params,
+                                       RunContext& ctx) const {
+  GCLUS_ASSIGN_OR_RETURN(const AlgoInfo* info, select(name, params));
   return info->run(g, params, ctx);
+}
+
+StatusOr<Clustering> Registry::try_run(const std::string& name,
+                                       const CompressedGraph& g,
+                                       const AlgoParams& params,
+                                       RunContext& ctx) const {
+  GCLUS_ASSIGN_OR_RETURN(const AlgoInfo* info, select(name, params));
+  if (info->run_compressed) return info->run_compressed(g, params, ctx);
+  // Neighbor-order-dependent algorithm: materialize the plain CSR and run
+  // the ordinary adapter, which is definitionally output-identical.
+  const Graph plain = g.decompress(ctx.pool_or_global());
+  return info->run(plain, params, ctx);
 }
 
 Registry& registry() {

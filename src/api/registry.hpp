@@ -26,6 +26,7 @@
 #include "api/run_context.hpp"
 #include "common/status.hpp"
 #include "core/clustering.hpp"
+#include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 
 namespace gclus {
@@ -80,6 +81,14 @@ struct AlgoInfo {
   std::string summary;
   std::vector<ParamSpec> params;
   std::function<Clustering(const Graph&, const AlgoParams&, RunContext&)> run;
+  /// Native compressed-mode adapter, or null when the algorithm's
+  /// traversal is neighbor-order dependent (center-set Voronoi
+  /// propagation) — Registry::run on a CompressedGraph then decompresses
+  /// and runs the plain adapter, so every algorithm accepts either
+  /// representation with identical output.
+  std::function<Clustering(const CompressedGraph&, const AlgoParams&,
+                           RunContext&)>
+      run_compressed;
 };
 
 class Registry {
@@ -98,6 +107,12 @@ class Registry {
   Clustering run(const std::string& name, const Graph& g,
                  const AlgoParams& params, RunContext& ctx) const;
 
+  /// Runs `name` on a compressed graph: natively when the algorithm
+  /// registered a compressed adapter, else by decompressing first.  The
+  /// result is identical to running on the equivalent plain Graph.
+  Clustering run(const std::string& name, const CompressedGraph& g,
+                 const AlgoParams& params, RunContext& ctx) const;
+
   /// Like run(), but selection errors — unknown algorithm, undeclared
   /// parameter key — come back as kInvalidArgument instead of aborting,
   /// so a serving caller can reject one bad request and keep going.
@@ -108,7 +123,17 @@ class Registry {
                                              const AlgoParams& params,
                                              RunContext& ctx) const;
 
+  /// Compressed-graph counterpart of try_run; same fallback rule as the
+  /// compressed run().
+  [[nodiscard]] StatusOr<Clustering> try_run(const std::string& name,
+                                             const CompressedGraph& g,
+                                             const AlgoParams& params,
+                                             RunContext& ctx) const;
+
  private:
+  [[nodiscard]] StatusOr<const AlgoInfo*> select(
+      const std::string& name, const AlgoParams& params) const;
+
   std::map<std::string, AlgoInfo> algos_;
 };
 

@@ -7,10 +7,14 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/growth.hpp"
+#include "graph/compressed.hpp"
 
 namespace gclus::baselines {
 
-Clustering mpx(const Graph& g, double beta, const MpxOptions& options) {
+namespace {
+
+template <class G>
+Clustering mpx_impl(const G& g, double beta, const MpxOptions& options) {
   GCLUS_CHECK(beta > 0.0, "MPX needs beta > 0");
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n >= 1);
@@ -41,7 +45,7 @@ Clustering mpx(const Graph& g, double beta, const MpxOptions& options) {
   // cluster ids (node order, like CLUSTER's batches).
   for (auto& bucket : starts) std::sort(bucket.begin(), bucket.end());
 
-  GrowthState state(g, pool, options.growth, options.workspace);
+  GrowthStateT<G> state(g, pool, options.growth, options.workspace);
   std::size_t t = 0;
   while (state.covered_count() < n) {
     if (t < starts.size()) {
@@ -61,6 +65,17 @@ Clustering mpx(const Graph& g, double beta, const MpxOptions& options) {
   Clustering out = std::move(state).finish();
   out.iterations = t;
   return out;
+}
+
+}  // namespace
+
+Clustering mpx(const Graph& g, double beta, const MpxOptions& options) {
+  return mpx_impl(g, beta, options);
+}
+
+Clustering mpx(const CompressedGraph& g, double beta,
+               const MpxOptions& options) {
+  return mpx_impl(g, beta, options);
 }
 
 double mpx_tune_beta(const Graph& g, ClusterId min_clusters,

@@ -22,6 +22,10 @@
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 
+namespace gclus {
+class CompressedGraph;
+}
+
 namespace gclus::baselines {
 
 /// Execution environment only — MPX has no constants beyond β, which is a
@@ -31,6 +35,10 @@ struct MpxOptions : RunContext {};
 /// Runs MPX with exponential-distribution parameter `beta` (> 0).  Larger
 /// β means more clusters of smaller radius.
 [[nodiscard]] Clustering mpx(const Graph& g, double beta,
+                             const MpxOptions& options = {});
+
+/// MPX over a compressed graph, identical semantics and output.
+[[nodiscard]] Clustering mpx(const CompressedGraph& g, double beta,
                              const MpxOptions& options = {});
 
 /// Binary-searches β so that MPX yields at least `min_clusters` clusters

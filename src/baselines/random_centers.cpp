@@ -6,11 +6,15 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/growth.hpp"
+#include "graph/compressed.hpp"
 
 namespace gclus::baselines {
 
-Clustering random_centers_clustering(const Graph& g, NodeId k,
-                                     const RandomCentersOptions& options) {
+namespace {
+
+template <class G>
+Clustering random_centers_impl(const G& g, NodeId k,
+                               const RandomCentersOptions& options) {
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(k >= 1 && k <= n);
   ThreadPool& pool = options.pool_or_global();
@@ -31,7 +35,7 @@ Clustering random_centers_clustering(const Graph& g, NodeId k,
   }
   std::sort(centers.begin(), centers.end());
 
-  GrowthState state(g, pool, options.growth, options.workspace);
+  GrowthStateT<G> state(g, pool, options.growth, options.workspace);
   for (const NodeId c : centers) state.add_center(c);
   while (state.covered_count() < n) {
     if (state.frontier_empty()) {
@@ -41,6 +45,18 @@ Clustering random_centers_clustering(const Graph& g, NodeId k,
     state.step();
   }
   return std::move(state).finish();
+}
+
+}  // namespace
+
+Clustering random_centers_clustering(const Graph& g, NodeId k,
+                                     const RandomCentersOptions& options) {
+  return random_centers_impl(g, k, options);
+}
+
+Clustering random_centers_clustering(const CompressedGraph& g, NodeId k,
+                                     const RandomCentersOptions& options) {
+  return random_centers_impl(g, k, options);
 }
 
 }  // namespace gclus::baselines

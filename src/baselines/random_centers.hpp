@@ -17,6 +17,10 @@
 #include "core/clustering.hpp"
 #include "graph/graph.hpp"
 
+namespace gclus {
+class CompressedGraph;
+}
+
 namespace gclus::baselines {
 
 /// Execution environment only — k is a direct argument.
@@ -28,5 +32,10 @@ struct RandomCentersOptions : RunContext {};
 /// partition.
 [[nodiscard]] Clustering random_centers_clustering(
     const Graph& g, NodeId k, const RandomCentersOptions& options = {});
+
+/// Random-centers clustering over a compressed graph, same semantics.
+[[nodiscard]] Clustering random_centers_clustering(
+    const CompressedGraph& g, NodeId k,
+    const RandomCentersOptions& options = {});
 
 }  // namespace gclus::baselines

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/growth.hpp"
+#include "graph/compressed.hpp"
 #include "par/parallel_for.hpp"
 
 namespace gclus {
@@ -27,14 +28,17 @@ double cluster_selection_probability(std::uint32_t tau, NodeId num_nodes,
   return std::min(1.0, p);
 }
 
-Clustering cluster(const Graph& g, std::uint32_t tau,
-                   const ClusterOptions& options) {
+namespace {
+
+template <class G>
+Clustering cluster_impl(const G& g, std::uint32_t tau,
+                        const ClusterOptions& options) {
   GCLUS_CHECK(tau >= 1, "CLUSTER requires tau >= 1");
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n >= 1);
   ThreadPool& pool = options.pool_or_global();
 
-  GrowthState state(g, pool, options.growth, options.workspace);
+  GrowthStateT<G> state(g, pool, options.growth, options.workspace);
   const double logn = log2_clamped(n);
   const double stop_threshold = options.threshold_constant * tau * logn;
 
@@ -87,6 +91,18 @@ Clustering cluster(const Graph& g, std::uint32_t tau,
   options.emit("cluster.max_radius", static_cast<double>(out.max_radius()));
   options.emit("cluster.growth_steps", static_cast<double>(out.growth_steps));
   return out;
+}
+
+}  // namespace
+
+Clustering cluster(const Graph& g, std::uint32_t tau,
+                   const ClusterOptions& options) {
+  return cluster_impl(g, tau, options);
+}
+
+Clustering cluster(const CompressedGraph& g, std::uint32_t tau,
+                   const ClusterOptions& options) {
+  return cluster_impl(g, tau, options);
 }
 
 }  // namespace gclus

@@ -20,6 +20,8 @@
 
 namespace gclus {
 
+class CompressedGraph;
+
 /// Execution environment (seed, pool, growth knobs, telemetry, workspace)
 /// plus CLUSTER's own constants.  Emits "cluster.iterations",
 /// "cluster.clusters", "cluster.max_radius" and "cluster.growth_steps" to
@@ -39,6 +41,12 @@ struct ClusterOptions : RunContext {
 /// and a deterministic fallback center is injected whenever the frontier
 /// goes quiet, so termination is unconditional).
 [[nodiscard]] Clustering cluster(const Graph& g, std::uint32_t tau,
+                                 const ClusterOptions& options = {});
+
+/// CLUSTER(τ) over a compressed graph — identical semantics and output
+/// (the growth engine's claim reductions are neighbor-order independent,
+/// so decoding order does not matter), no decompression materialized.
+[[nodiscard]] Clustering cluster(const CompressedGraph& g, std::uint32_t tau,
                                  const ClusterOptions& options = {});
 
 /// Selection probability used in iteration `iteration` with `uncovered`

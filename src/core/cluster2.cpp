@@ -6,12 +6,16 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/growth.hpp"
+#include "graph/compressed.hpp"
 #include "par/parallel_for.hpp"
 
 namespace gclus {
 
-Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
-                        const ClusterOptions& options) {
+namespace {
+
+template <class G>
+Cluster2Result cluster2_impl(const G& g, std::uint32_t tau,
+                             const ClusterOptions& options) {
   GCLUS_CHECK(tau >= 1);
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(n >= 1);
@@ -38,7 +42,7 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
   const auto log_n = static_cast<std::size_t>(
       std::ceil(std::log2(std::max<double>(2.0, n))));
 
-  GrowthState state(g, pool, options.growth, options.workspace);
+  GrowthStateT<G> state(g, pool, options.growth, options.workspace);
 
   std::size_t iterations = 0;
   for (std::size_t i = 1; i <= log_n && state.uncovered_count() > 0; ++i) {
@@ -69,6 +73,18 @@ Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
   options.emit("cluster2.max_radius",
                static_cast<double>(result.clustering.max_radius()));
   return result;
+}
+
+}  // namespace
+
+Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
+                        const ClusterOptions& options) {
+  return cluster2_impl(g, tau, options);
+}
+
+Cluster2Result cluster2(const CompressedGraph& g, std::uint32_t tau,
+                        const ClusterOptions& options) {
+  return cluster2_impl(g, tau, options);
 }
 
 }  // namespace gclus

@@ -37,4 +37,11 @@ struct Cluster2Result {
 [[nodiscard]] Cluster2Result cluster2(const Graph& g, std::uint32_t tau,
                                       const ClusterOptions& options = {});
 
+/// CLUSTER2(τ) over a compressed graph; both phases (the preliminary
+/// CLUSTER run and the quota-grown rebuild) execute on the compressed
+/// representation directly.
+[[nodiscard]] Cluster2Result cluster2(const CompressedGraph& g,
+                                      std::uint32_t tau,
+                                      const ClusterOptions& options = {});
+
 }  // namespace gclus

@@ -5,12 +5,14 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "graph/compressed.hpp"
 #include "par/parallel_for.hpp"
 
 namespace gclus {
 
-GrowthState::GrowthState(const Graph& g, ThreadPool& pool,
-                         GrowthOptions options, Workspace* workspace)
+template <class G>
+GrowthStateT<G>::GrowthStateT(const G& g, ThreadPool& pool,
+                              GrowthOptions options, Workspace* workspace)
     : g_(&g),
       pool_(&pool),
       options_(options),
@@ -43,14 +45,17 @@ GrowthState::GrowthState(const Graph& g, ThreadPool& pool,
   for (auto& p : b_->next_frontier) p.clear();
 }
 
-GrowthState::GrowthState(const Graph& g, const RunContext& ctx)
-    : GrowthState(g, ctx.pool_or_global(), ctx.growth, ctx.workspace) {}
+template <class G>
+GrowthStateT<G>::GrowthStateT(const G& g, const RunContext& ctx)
+    : GrowthStateT(g, ctx.pool_or_global(), ctx.growth, ctx.workspace) {}
 
-GrowthState::~GrowthState() {
+template <class G>
+GrowthStateT<G>::~GrowthStateT() {
   if (workspace_ != nullptr && b_ != nullptr) workspace_->release_growth(b_);
 }
 
-ClusterId GrowthState::add_center(NodeId v, std::uint64_t priority) {
+template <class G>
+ClusterId GrowthStateT<G>::add_center(NodeId v, std::uint64_t priority) {
   GCLUS_CHECK(v < g_->num_nodes());
   GCLUS_CHECK(b_->covered[v] == 0, "center ", v, " already covered");
   const auto cid = static_cast<ClusterId>(centers_.size());
@@ -71,14 +76,16 @@ ClusterId GrowthState::add_center(NodeId v, std::uint64_t priority) {
   return cid;
 }
 
-bool GrowthState::decide_pull() {
+template <class G>
+bool GrowthStateT<G>::decide_pull() {
   pulling_ = decide_direction(pulling_, b_->frontier.size(), g_->num_nodes(),
                               frontier_degree_sum_, uncovered_degree_sum_,
                               options_);
   return pulling_;
 }
 
-NodeId GrowthState::step() {
+template <class G>
+NodeId GrowthStateT<G>::step() {
   if (b_->frontier.empty()) return 0;
   ++steps_executed_;
   const auto step_index = static_cast<std::uint32_t>(steps_executed_);
@@ -115,7 +122,8 @@ NodeId GrowthState::step() {
   return newly;
 }
 
-NodeId GrowthState::step_push(std::uint32_t step_index) {
+template <class G>
+NodeId GrowthStateT<G>::step_push(std::uint32_t step_index) {
   // Phase 1 — proposals: every frontier node bids for its uncovered
   // neighbors with its cluster's claim key; fetch-min keeps the best bid.
   for (auto& p : b_->proposals) p.clear();
@@ -131,15 +139,35 @@ NodeId GrowthState::step_push(std::uint32_t step_index) {
             cursor.fetch_add(kGrain, std::memory_order_relaxed);
         if (lo >= b_->frontier.size()) break;
         const std::size_t hi = std::min(lo + kGrain, b_->frontier.size());
-        for (std::size_t i = lo; i < hi; ++i) {
+        // Frontier vertices are scanned in adjacent pairs so the
+        // compressed representation can interleave the two independent
+        // decode chains (visit_neighbors2); for plain CSR the pair visit
+        // compiles to the same two loops as before.  Claims are
+        // commutative fetch-mins, so the visit order across the pair is
+        // immaterial.
+        const auto claim_for = [&](std::uint64_t key) {
+          return [&, key](NodeId v) {
+            if (b_->covered[v] != 0) return;
+            if (atomic_fetch_min(b_->claim[v], key)) out.push_back(v);
+          };
+        };
+        std::size_t i = lo;
+        for (; i + 1 < hi; i += 2) {
+          const NodeId u0 = b_->frontier[i];
+          const NodeId u1 = b_->frontier[i + 1];
+          const std::uint64_t key0 =
+              b_->claim[u0].load(std::memory_order_relaxed);
+          const std::uint64_t key1 =
+              b_->claim[u1].load(std::memory_order_relaxed);
+          scanned += g_->degree(u0) + g_->degree(u1);
+          visit_neighbors2(*g_, u0, u1, claim_for(key0), claim_for(key1));
+        }
+        if (i < hi) {
           const NodeId u = b_->frontier[i];
           const std::uint64_t key =
               b_->claim[u].load(std::memory_order_relaxed);
           scanned += g_->degree(u);
-          for (const NodeId v : g_->neighbors(u)) {
-            if (b_->covered[v] != 0) continue;
-            if (atomic_fetch_min(b_->claim[v], key)) out.push_back(v);
-          }
+          for (const NodeId v : g_->neighbors(u)) claim_for(key)(v);
         }
       }
       edges_scanned.fetch_add(scanned, std::memory_order_relaxed);
@@ -180,7 +208,8 @@ NodeId GrowthState::step_push(std::uint32_t step_index) {
   return newly.load();
 }
 
-NodeId GrowthState::step_pull(std::uint32_t step_index) {
+template <class G>
+NodeId GrowthStateT<G>::step_pull(std::uint32_t step_index) {
   maybe_compact_candidates();
 
   // Scan phase: every uncovered node takes the minimum claim key over its
@@ -208,24 +237,48 @@ NodeId GrowthState::step_pull(std::uint32_t step_index) {
         if (lo >= b_->uncovered_candidates.size()) break;
         const std::size_t hi =
             std::min(lo + kGrain, b_->uncovered_candidates.size());
-        for (std::size_t i = lo; i < hi; ++i) {
-          const NodeId v = b_->uncovered_candidates[i];
-          if (b_->covered[v] != 0) continue;
-          std::uint64_t best = kUnclaimed;
-          scanned += g_->degree(v);
-          for (const NodeId u : g_->neighbors(v)) {
-            if (!in_frontier(u)) continue;
-            const std::uint64_t key =
-                b_->claim[u].load(std::memory_order_relaxed);
-            best = std::min(best, key);
-          }
-          if (best == kUnclaimed) continue;
+        // Uncovered candidates are scanned in pairs for the same reason
+        // as the push phase: the compressed overload of visit_neighbors2
+        // interleaves the two decode chains.  The min over frontier
+        // claims is commutative, so pairing cannot change any result.
+        const auto gather_for = [&](std::uint64_t& best) {
+          return [&](NodeId u) {
+            if (!in_frontier(u)) return;
+            best = std::min(best,
+                            b_->claim[u].load(std::memory_order_relaxed));
+          };
+        };
+        const auto commit = [&](NodeId v, std::uint64_t best) {
+          if (best == kUnclaimed) return;
           b_->claim[v].store(best, std::memory_order_relaxed);
           b_->dist[v] = static_cast<Dist>(step_index -
                                           activation_[key_cluster(best)]);
           out.push_back(v);
           ++local_new;
           local_deg += g_->degree(v);
+        };
+        NodeId pending = kInvalidNode;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId v = b_->uncovered_candidates[i];
+          if (b_->covered[v] != 0) continue;
+          if (pending == kInvalidNode) {
+            pending = v;
+            continue;
+          }
+          scanned += g_->degree(pending) + g_->degree(v);
+          std::uint64_t best0 = kUnclaimed;
+          std::uint64_t best1 = kUnclaimed;
+          visit_neighbors2(*g_, pending, v, gather_for(best0),
+                           gather_for(best1));
+          commit(pending, best0);
+          commit(v, best1);
+          pending = kInvalidNode;
+        }
+        if (pending != kInvalidNode) {
+          scanned += g_->degree(pending);
+          std::uint64_t best = kUnclaimed;
+          for (const NodeId u : g_->neighbors(pending)) gather_for(best)(u);
+          commit(pending, best);
         }
       }
       newly.fetch_add(local_new, std::memory_order_relaxed);
@@ -242,7 +295,8 @@ NodeId GrowthState::step_pull(std::uint32_t step_index) {
   return newly.load();
 }
 
-void GrowthState::install_next_frontier(std::uint64_t next_degree_sum) {
+template <class G>
+void GrowthStateT<G>::install_next_frontier(std::uint64_t next_degree_sum) {
   parallel_for(*pool_, 0, b_->frontier.size(),
                [&](std::size_t i) { clear_frontier_bit(b_->frontier[i]); });
   parallel_concat(*pool_, b_->next_frontier, b_->frontier);
@@ -252,7 +306,8 @@ void GrowthState::install_next_frontier(std::uint64_t next_degree_sum) {
   uncovered_degree_sum_ -= next_degree_sum;
 }
 
-void GrowthState::maybe_compact_candidates() {
+template <class G>
+void GrowthStateT<G>::maybe_compact_candidates() {
   if (!worklist_needs_compaction(b_->uncovered_candidates.size(),
                                  uncovered_count())) {
     return;
@@ -261,19 +316,22 @@ void GrowthState::maybe_compact_candidates() {
                    [&](NodeId v) { return b_->covered[v] == 0; });
 }
 
-const std::vector<NodeId>& GrowthState::uncovered_candidates() {
+template <class G>
+const std::vector<NodeId>& GrowthStateT<G>::uncovered_candidates() {
   maybe_compact_candidates();
   return b_->uncovered_candidates;
 }
 
-NodeId GrowthState::first_uncovered() {
+template <class G>
+NodeId GrowthStateT<G>::first_uncovered() {
   for (const NodeId v : b_->uncovered_candidates) {
     if (b_->covered[v] == 0) return v;
   }
   return kInvalidNode;
 }
 
-NodeId GrowthState::grow_steps(std::size_t steps) {
+template <class G>
+NodeId GrowthStateT<G>::grow_steps(std::size_t steps) {
   NodeId total = 0;
   for (std::size_t s = 0; s < steps && !b_->frontier.empty(); ++s) {
     total += step();
@@ -281,7 +339,8 @@ NodeId GrowthState::grow_steps(std::size_t steps) {
   return total;
 }
 
-NodeId GrowthState::grow_until_covered(NodeId target_new) {
+template <class G>
+NodeId GrowthStateT<G>::grow_until_covered(NodeId target_new) {
   NodeId total = 0;
   while (total < target_new && !b_->frontier.empty()) {
     total += step();
@@ -289,7 +348,8 @@ NodeId GrowthState::grow_until_covered(NodeId target_new) {
   return total;
 }
 
-void GrowthState::add_singletons_for_uncovered() {
+template <class G>
+void GrowthStateT<G>::add_singletons_for_uncovered() {
   // The candidate list is an ascending superset of the uncovered set, so
   // singleton cluster ids are assigned in node order, exactly as a full
   // range scan would.
@@ -298,7 +358,8 @@ void GrowthState::add_singletons_for_uncovered() {
   }
 }
 
-Clustering GrowthState::finish() && {
+template <class G>
+Clustering GrowthStateT<G>::finish() && {
   const NodeId n = g_->num_nodes();
   GCLUS_CHECK(covered_count_ == n,
               "finish() requires full coverage; uncovered nodes remain");
@@ -322,7 +383,8 @@ Clustering GrowthState::finish() && {
   return out;
 }
 
-std::vector<NodeId> sample_uncovered_centers(GrowthState& state,
+template <class G2>
+std::vector<NodeId> sample_uncovered_centers(GrowthStateT<G2>& state,
                                              ThreadPool& pool,
                                              std::uint64_t seed,
                                              std::uint64_t draw_key,
@@ -356,5 +418,14 @@ std::vector<NodeId> sample_uncovered_centers(GrowthState& state,
   std::sort(selected.begin(), selected.end());
   return selected;
 }
+
+template class GrowthStateT<Graph>;
+template class GrowthStateT<CompressedGraph>;
+
+template std::vector<NodeId> sample_uncovered_centers<Graph>(
+    GrowthStateT<Graph>&, ThreadPool&, std::uint64_t, std::uint64_t, double);
+template std::vector<NodeId> sample_uncovered_centers<CompressedGraph>(
+    GrowthStateT<CompressedGraph>&, ThreadPool&, std::uint64_t, std::uint64_t,
+    double);
 
 }  // namespace gclus

@@ -71,23 +71,33 @@ struct GrowthStats {
   std::vector<GrowthStepLog> steps;
 };
 
-class GrowthState {
+/// The engine is generic over the graph representation `G` — plain CSR
+/// (Graph) or the Rice-coded CompressedGraph — through the shared accessor
+/// surface (num_nodes/num_half_edges/degree/neighbors).  Both claim
+/// directions reduce neighbors with commutative minima, so the decode
+/// order of a compressed (relabeled) adjacency list is immaterial and the
+/// final partition is byte-identical across representations.  Members are
+/// defined in growth.cpp and explicitly instantiated for Graph and
+/// CompressedGraph; GrowthState below keeps every existing call site
+/// unchanged.
+template <class G>
+class GrowthStateT {
  public:
   /// Starts with every node uncovered and no clusters.  With a non-null
   /// `workspace` the engine borrows its growth scratch for the lifetime of
   /// this object (released on destruction); otherwise it allocates a
   /// private scratch.
-  explicit GrowthState(const Graph& g, ThreadPool& pool,
-                       GrowthOptions options = default_growth_options(),
-                       Workspace* workspace = nullptr);
+  explicit GrowthStateT(const G& g, ThreadPool& pool,
+                        GrowthOptions options = default_growth_options(),
+                        Workspace* workspace = nullptr);
 
   /// Resolves pool, growth options, and workspace from the context.
-  GrowthState(const Graph& g, const RunContext& ctx);
+  GrowthStateT(const G& g, const RunContext& ctx);
 
-  ~GrowthState();
+  ~GrowthStateT();
 
-  GrowthState(const GrowthState&) = delete;
-  GrowthState& operator=(const GrowthState&) = delete;
+  GrowthStateT(const GrowthStateT&) = delete;
+  GrowthStateT& operator=(const GrowthStateT&) = delete;
 
   /// Registers a new singleton cluster centered at `v` (must be uncovered).
   /// `priority` resolves multi-cluster claims: smaller wins.  Defaults to
@@ -161,7 +171,7 @@ class GrowthState {
   /// are stale; amortized O(n) over a full growth.
   void maybe_compact_candidates();
 
-  const Graph* g_;
+  const G* g_;
   ThreadPool* pool_;
   GrowthOptions options_;
 
@@ -223,12 +233,16 @@ class GrowthState {
   }
 
   // The center sampler reuses the scratch's per-worker sample buffers.
-  friend std::vector<NodeId> sample_uncovered_centers(GrowthState& state,
+  template <class G2>
+  friend std::vector<NodeId> sample_uncovered_centers(GrowthStateT<G2>& state,
                                                       ThreadPool& pool,
                                                       std::uint64_t seed,
                                                       std::uint64_t draw_key,
                                                       double p);
 };
+
+/// The historical name: the engine over the plain CSR Graph.
+using GrowthState = GrowthStateT<Graph>;
 
 /// Samples every uncovered node independently with probability `p`, using
 /// the deterministic draw keyed_bernoulli(seed, draw_key, node) — the
@@ -236,8 +250,9 @@ class GrowthState {
 /// schedule.  Sweeps the engine's uncovered worklist in parallel and
 /// returns the selected nodes in ascending order, ready for add_center in
 /// node order.  Shared by CLUSTER's and CLUSTER2's batch selection.
+template <class G2>
 [[nodiscard]] std::vector<NodeId> sample_uncovered_centers(
-    GrowthState& state, ThreadPool& pool, std::uint64_t seed,
+    GrowthStateT<G2>& state, ThreadPool& pool, std::uint64_t seed,
     std::uint64_t draw_key, double p);
 
 }  // namespace gclus

@@ -56,13 +56,16 @@ namespace {
 /// actual edge work.  Matters for eccentricity sweeps over small graphs.
 constexpr std::uint64_t kSerialPushCutoff = 2048;
 
-}  // namespace
-
-std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
-                               std::size_t* levels_out,
-                               const GrowthOptions& options,
-                               DirectionCounts* counts_out,
-                               Workspace* workspace) {
+/// The level-synchronous kernel, generic over the graph representation
+/// (plain CSR or CompressedGraph) — both claim directions are neighbor-
+/// order independent, so a compressed decode order yields identical
+/// distances.  The public overloads below pin the instantiations.
+template <class G>
+std::vector<Dist> parallel_bfs_impl(ThreadPool& pool, const G& g,
+                                    NodeId source, std::size_t* levels_out,
+                                    const GrowthOptions& options,
+                                    DirectionCounts* counts_out,
+                                    Workspace* workspace) {
   const NodeId n = g.num_nodes();
   GCLUS_CHECK(source < n);
   const std::size_t workers = pool.num_threads();
@@ -230,6 +233,26 @@ std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
   });
   if (workspace != nullptr) workspace->release_bfs(b);
   return result;
+}
+
+}  // namespace
+
+std::vector<Dist> parallel_bfs(ThreadPool& pool, const Graph& g, NodeId source,
+                               std::size_t* levels_out,
+                               const GrowthOptions& options,
+                               DirectionCounts* counts_out,
+                               Workspace* workspace) {
+  return parallel_bfs_impl(pool, g, source, levels_out, options, counts_out,
+                           workspace);
+}
+
+std::vector<Dist> parallel_bfs(ThreadPool& pool, const CompressedGraph& g,
+                               NodeId source, std::size_t* levels_out,
+                               const GrowthOptions& options,
+                               DirectionCounts* counts_out,
+                               Workspace* workspace) {
+  return parallel_bfs_impl(pool, g, source, levels_out, options, counts_out,
+                           workspace);
 }
 
 BfsExtremum bfs_extremum(const Graph& g, NodeId source, ThreadPool* pool,

@@ -14,6 +14,7 @@
 
 #include "common/traversal.hpp"
 #include "common/types.hpp"
+#include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 #include "par/thread_pool.hpp"
 
@@ -46,6 +47,16 @@ class Workspace;
 /// the same graph care about (eccentricity sweeps, serving loops).
 [[nodiscard]] std::vector<Dist> parallel_bfs(
     ThreadPool& pool, const Graph& g, NodeId source,
+    std::size_t* levels_out = nullptr,
+    const GrowthOptions& options = default_growth_options(),
+    DirectionCounts* counts_out = nullptr, Workspace* workspace = nullptr);
+
+/// Parallel BFS over a compressed graph, same contract as above.  Both
+/// level directions visit neighbors through commutative updates (push CAS,
+/// pull first-hit-in-level), so the decoded adjacency order is immaterial
+/// and the distances match the plain-CSR kernel exactly.
+[[nodiscard]] std::vector<Dist> parallel_bfs(
+    ThreadPool& pool, const CompressedGraph& g, NodeId source,
     std::size_t* levels_out = nullptr,
     const GrowthOptions& options = default_growth_options(),
     DirectionCounts* counts_out = nullptr, Workspace* workspace = nullptr);

@@ -43,9 +43,38 @@ constexpr std::uint64_t kBinaryMagic = 0x67636c7573763101ULL;  // v1: "gclusv1"+
 constexpr std::uint64_t kCsr2Magic = 0x32534353554C4347ULL;
 constexpr std::uint32_t kCsr2Version = 2;
 constexpr std::uint32_t kCsr2FlagWeights = 1u << 0;
-constexpr std::uint32_t kCsr2KnownFlags = kCsr2FlagWeights;
+constexpr std::uint32_t kCsr2FlagCompressed = 1u << 1;
+constexpr std::uint32_t kCsr2KnownFlags =
+    kCsr2FlagWeights | kCsr2FlagCompressed;
 constexpr std::uint64_t kCsr2HeaderBytes = 72;
 constexpr std::uint64_t kCsr2Align = 64;
+
+// Compressed layout (flags bit 1): offsets_pos points at a 128-byte
+// parameter block instead of an offsets array; neighbors_pos and
+// weights_pos are zero.  The block records the per-graph encoding choices
+// (graph/compressed.hpp) and the positions of the six sections; section
+// *sizes* are derived through compressed_section_sizes, so the reader's
+// bounds checks cannot drift from the writer.  The header checksum covers
+// the parameter block plus every section, in file order.
+//
+//   offset  size  field
+//   0       4     cparams version (1)
+//   4       1     first_mode
+//   5       1     k_first
+//   6       1     k_gap
+//   7       1     relabeled (0/1)
+//   8       4     degree_bits
+//   12      4     local_bits
+//   16      8     adj_bytes
+//   24      8     degrees_pos
+//   32      8     anchors_pos
+//   40      8     locals_pos
+//   48      8     adj_pos
+//   56      8     perm_pos (0 unless relabeled)
+//   64      8     inv_pos  (0 unless relabeled)
+//   72      56    reserved (zeros)
+constexpr std::uint64_t kCz2ParamsBytes = 128;
+constexpr std::uint32_t kCz2ParamsVersion = 1;
 
 // ---- file mapping -----------------------------------------------------------
 
@@ -516,6 +545,25 @@ Status parse_csr2_header(const std::byte* data, std::uint64_t size,
   if (h.num_nodes > std::numeric_limits<NodeId>::max()) {
     return DataLossError("node count exceeds NodeId range");
   }
+  if ((h.flags & kCsr2FlagCompressed) != 0) {
+    // Compressed layout: offsets_pos locates the parameter block, the
+    // other section pointers are unused.  Section bounds are validated by
+    // parse_cz2 against the sizes the parameters imply.
+    if ((h.flags & kCsr2FlagWeights) != 0) {
+      return InvalidArgumentError("compressed CSR v2 files cannot carry "
+                                  "weights");
+    }
+    if (h.neighbors_pos != 0 || h.weights_pos != 0) {
+      return DataLossError("compressed CSR v2 header has stray section "
+                           "positions");
+    }
+    if (h.offsets_pos < kCsr2HeaderBytes || h.offsets_pos % kCsr2Align != 0 ||
+        h.offsets_pos > size || kCz2ParamsBytes > size - h.offsets_pos) {
+      return DataLossError("truncated CSR v2 file (compressed parameter "
+                           "block out of bounds)");
+    }
+    return OkStatus();
+  }
   // Section bounds, written to be overflow-safe: divide before multiply.
   const std::uint64_t num_offsets = h.num_nodes + 1;
   if (h.offsets_pos < kCsr2HeaderBytes || h.offsets_pos % kCsr2Align != 0 ||
@@ -624,6 +672,10 @@ Status load_csr2(const std::string& path, const CsrLoadOptions& opts,
 
   Csr2Header& h = out.header;
   GCLUS_RETURN_IF_ERROR(parse_csr2_header(data, size, h));
+  if ((h.flags & kCsr2FlagCompressed) != 0) {
+    return InvalidArgumentError(
+        "compressed CSR v2 file (use load_compressed_csr)");
+  }
   const bool weighted = (h.flags & kCsr2FlagWeights) != 0;
   const std::uint64_t num_offsets = h.num_nodes + 1;
 
@@ -667,6 +719,105 @@ Status load_csr2(const std::string& path, const CsrLoadOptions& opts,
     GCLUS_RETURN_IF_ERROR(validate_csr_arrays(out.offsets, out.neighbors));
   }
   return OkStatus();
+}
+
+// ---- CSR v2 compressed layout ----------------------------------------------
+
+/// Parsed parameter block of a compressed file: encoding parameters plus
+/// the absolute byte position of every section.
+struct Cz2Layout {
+  CompressedParams params;
+  CompressedSectionSizes sizes;
+  std::uint64_t degrees_pos = 0;
+  std::uint64_t anchors_pos = 0;
+  std::uint64_t locals_pos = 0;
+  std::uint64_t adj_pos = 0;
+  std::uint64_t perm_pos = 0;
+  std::uint64_t inv_pos = 0;
+};
+
+/// Validates one section position against the file size.  `pos == 0` with
+/// `bytes == 0` marks an absent section (perm/inv when not relabeled).
+bool cz2_section_in_bounds(std::uint64_t pos, std::uint64_t bytes,
+                           std::uint64_t file_size, std::uint64_t min_pos) {
+  if (bytes == 0 && pos == 0) return true;
+  return pos >= min_pos && pos % kCsr2Align == 0 && pos <= file_size &&
+         bytes <= file_size - pos;
+}
+
+Status parse_cz2(const std::byte* data, std::uint64_t size,
+                 const Csr2Header& h, Cz2Layout& lay) {
+  const std::byte* b = data + h.offsets_pos;
+  if (read_le_at<std::uint32_t>(b) != kCz2ParamsVersion) {
+    return InvalidArgumentError("unsupported compressed CSR parameter "
+                                "version");
+  }
+  CompressedParams& p = lay.params;
+  p.num_nodes = h.num_nodes;
+  p.num_half_edges = h.num_half_edges;
+  p.first_mode = static_cast<std::uint8_t>(b[4]);
+  p.k_first = static_cast<std::uint8_t>(b[5]);
+  p.k_gap = static_cast<std::uint8_t>(b[6]);
+  p.relabeled = static_cast<std::uint8_t>(b[7]) != 0;
+  p.degree_bits = read_le_at<std::uint32_t>(b + 8);
+  p.local_bits = read_le_at<std::uint32_t>(b + 12);
+  p.adj_bytes = read_le_at<std::uint64_t>(b + 16);
+  lay.degrees_pos = read_le_at<std::uint64_t>(b + 24);
+  lay.anchors_pos = read_le_at<std::uint64_t>(b + 32);
+  lay.locals_pos = read_le_at<std::uint64_t>(b + 40);
+  lay.adj_pos = read_le_at<std::uint64_t>(b + 48);
+  lay.perm_pos = read_le_at<std::uint64_t>(b + 56);
+  lay.inv_pos = read_le_at<std::uint64_t>(b + 64);
+  for (std::uint64_t i = 72; i < kCz2ParamsBytes; ++i) {
+    if (b[i] != std::byte{0}) {
+      return DataLossError("nonzero reserved compressed parameter field");
+    }
+  }
+  if (static_cast<std::uint8_t>(b[7]) > 1 || p.first_mode > 1 ||
+      p.k_first > cz::kMaxK || p.k_gap > cz::kMaxK || p.degree_bits > 32 ||
+      p.local_bits > 56 || p.adj_bytes > size) {
+    return DataLossError("compressed CSR parameters out of range");
+  }
+  lay.sizes = compressed_section_sizes(p);
+  const std::uint64_t min_pos = h.offsets_pos + kCz2ParamsBytes;
+  if (!cz2_section_in_bounds(lay.degrees_pos, lay.sizes.degrees, size,
+                             min_pos) ||
+      !cz2_section_in_bounds(lay.anchors_pos, lay.sizes.anchors, size,
+                             min_pos) ||
+      !cz2_section_in_bounds(lay.locals_pos, lay.sizes.locals, size,
+                             min_pos) ||
+      !cz2_section_in_bounds(lay.adj_pos, lay.sizes.adj, size, min_pos) ||
+      !cz2_section_in_bounds(lay.perm_pos, lay.sizes.perm, size, min_pos) ||
+      !cz2_section_in_bounds(lay.inv_pos, lay.sizes.inv, size, min_pos)) {
+    return DataLossError("truncated CSR v2 file (compressed section out of "
+                         "bounds)");
+  }
+  if (p.relabeled != (lay.perm_pos != 0) || p.relabeled != (lay.inv_pos != 0)) {
+    return DataLossError("compressed CSR relabeling sections inconsistent "
+                         "with the relabeled flag");
+  }
+  return OkStatus();
+}
+
+/// Serializes the parameter block into a 128-byte buffer (for writing and
+/// for checksum computation).
+void store_cz2_params(const Cz2Layout& lay, std::byte* out) {
+  std::memset(out, 0, kCz2ParamsBytes);
+  const CompressedParams& p = lay.params;
+  store_le_at(out, kCz2ParamsVersion);
+  out[4] = static_cast<std::byte>(p.first_mode);
+  out[5] = static_cast<std::byte>(p.k_first);
+  out[6] = static_cast<std::byte>(p.k_gap);
+  out[7] = static_cast<std::byte>(p.relabeled ? 1 : 0);
+  store_le_at(out + 8, p.degree_bits);
+  store_le_at(out + 12, p.local_bits);
+  store_le_at(out + 16, p.adj_bytes);
+  store_le_at(out + 24, lay.degrees_pos);
+  store_le_at(out + 32, lay.anchors_pos);
+  store_le_at(out + 40, lay.locals_pos);
+  store_le_at(out + 48, lay.adj_pos);
+  store_le_at(out + 56, lay.perm_pos);
+  store_le_at(out + 64, lay.inv_pos);
 }
 
 }  // namespace
@@ -717,7 +868,189 @@ Status write_csr(const WeightedGraph& g, const std::string& path) {
   return write_csr2(path, g.offsets(), neighbors, /*weighted=*/true, weights);
 }
 
+Status write_csr(const CompressedGraph& g, const std::string& path) {
+  Cz2Layout lay;
+  lay.params = g.params();
+  lay.sizes = compressed_section_sizes(lay.params);
+  GCLUS_CHECK(lay.sizes.degrees == g.degrees_section().size() &&
+                  lay.sizes.anchors == g.anchors_section().size() &&
+                  lay.sizes.locals == g.locals_section().size() &&
+                  lay.sizes.adj == g.adj_section().size() &&
+                  lay.sizes.perm == g.perm_section().size() &&
+                  lay.sizes.inv == g.inv_section().size(),
+              "compressed graph sections inconsistent with parameters");
+  const std::uint64_t params_pos = align_up(kCsr2HeaderBytes, kCsr2Align);
+  std::uint64_t pos = align_up(params_pos + kCz2ParamsBytes, kCsr2Align);
+  auto place = [&](std::uint64_t bytes) {
+    const std::uint64_t at = pos;
+    pos = align_up(pos + bytes, kCsr2Align);
+    return at;
+  };
+  lay.degrees_pos = place(lay.sizes.degrees);
+  lay.anchors_pos = place(lay.sizes.anchors);
+  lay.locals_pos = place(lay.sizes.locals);
+  lay.adj_pos = place(lay.sizes.adj);
+  lay.perm_pos = lay.params.relabeled ? place(lay.sizes.perm) : 0;
+  lay.inv_pos = lay.params.relabeled ? place(lay.sizes.inv) : 0;
+
+  std::byte params_block[kCz2ParamsBytes];
+  store_cz2_params(lay, params_block);
+  std::uint64_t checksum =
+      fnv1a(kFnvOffsetBasis, params_block, kCz2ParamsBytes);
+  for (const auto section :
+       {g.degrees_section(), g.anchors_section(), g.locals_section(),
+        g.adj_section(), g.perm_section(), g.inv_section()}) {
+    checksum = fnv1a(checksum, section.data(), section.size());
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (GCLUS_FAULTPOINT("io.write") || !out.good()) {
+    return IoError("cannot open for writing: " + path);
+  }
+  put_le(out, kCsr2Magic);
+  put_le(out, kCsr2Version);
+  put_le(out, kCsr2FlagCompressed);
+  put_le(out, lay.params.num_nodes);
+  put_le(out, lay.params.num_half_edges);
+  put_le(out, params_pos);
+  put_le(out, std::uint64_t{0});  // neighbors_pos (unused)
+  put_le(out, std::uint64_t{0});  // weights_pos (unused)
+  put_le(out, checksum);
+  put_le(out, std::uint64_t{0});  // reserved
+  write_zeros(out, params_pos - kCsr2HeaderBytes);
+  out.write(reinterpret_cast<const char*>(params_block), kCz2ParamsBytes);
+  std::uint64_t written = params_pos + kCz2ParamsBytes;
+  auto emit = [&](std::uint64_t at, std::span<const std::byte> bytes) {
+    if (bytes.empty()) return;
+    write_zeros(out, at - written);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    written = at + bytes.size();
+  };
+  emit(lay.degrees_pos, g.degrees_section());
+  emit(lay.anchors_pos, g.anchors_section());
+  emit(lay.locals_pos, g.locals_section());
+  emit(lay.adj_pos, g.adj_section());
+  emit(lay.perm_pos, g.perm_section());
+  emit(lay.inv_pos, g.inv_section());
+  if (!out.good()) {
+    return IoError("write failed (disk full or I/O error): " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<CompressedGraph> load_compressed_csr(const std::string& path,
+                                              const CsrLoadOptions& opts) {
+  // The compressed sections are defined as byte sequences (LSB-first
+  // bitstreams, explicit little-endian fields), so zero-copy mapping is
+  // endian-independent — unlike the plain layout, kMmap works everywhere
+  // mmap exists.
+  bool use_mmap = false;
+  switch (opts.mode) {
+    case CsrLoadMode::kAuto:
+      use_mmap = mmap_supported();
+      break;
+    case CsrLoadMode::kMmap:
+      if (!mmap_supported()) {
+        return InvalidArgumentError(
+            path + ": mmap loading not supported on this platform");
+      }
+      use_mmap = true;
+      break;
+    case CsrLoadMode::kCopy:
+      break;
+  }
+
+  const std::byte* data = nullptr;
+  std::uint64_t size = 0;
+  std::shared_ptr<const void> keepalive;
+  if (use_mmap) {
+    if (auto mapping = MappedFile::map(path)) {
+      data = mapping->data();
+      size = mapping->size();
+      keepalive = std::move(mapping);
+    } else if (opts.mode == CsrLoadMode::kMmap) {
+      return IoError(path + ": cannot mmap file");
+    } else {
+      use_mmap = false;  // fall back to read()
+    }
+  }
+  if (!use_mmap) {
+    auto bytes = read_file_bytes(path);
+    if (!bytes.ok()) return Status(bytes.status()).with_context(path);
+    auto owned =
+        std::make_shared<std::vector<std::byte>>(std::move(bytes).value());
+    data = owned->data();
+    size = owned->size();
+    keepalive = std::move(owned);
+  }
+
+  Csr2Header h;
+  GCLUS_RETURN_IF_ERROR(parse_csr2_header(data, size, h).with_context(path));
+  if ((h.flags & kCsr2FlagWeights) != 0) {
+    return InvalidArgumentError(
+        path + ": weighted CSR v2 file (use load_weighted_csr)");
+  }
+  if ((h.flags & kCsr2FlagCompressed) == 0) {
+    return InvalidArgumentError(path + ": plain CSR v2 file (use load_csr)");
+  }
+  Cz2Layout lay;
+  GCLUS_RETURN_IF_ERROR(parse_cz2(data, size, h, lay).with_context(path));
+
+  if (opts.verify) {
+    std::uint64_t sum =
+        fnv1a(kFnvOffsetBasis, data + h.offsets_pos, kCz2ParamsBytes);
+    const std::pair<std::uint64_t, std::uint64_t> sections[] = {
+        {lay.degrees_pos, lay.sizes.degrees},
+        {lay.anchors_pos, lay.sizes.anchors},
+        {lay.locals_pos, lay.sizes.locals},
+        {lay.adj_pos, lay.sizes.adj},
+        {lay.perm_pos, lay.sizes.perm},
+        {lay.inv_pos, lay.sizes.inv},
+    };
+    for (const auto& [at, bytes] : sections) {
+      sum = fnv1a(sum, data + at, static_cast<std::size_t>(bytes));
+    }
+    if (sum != h.checksum) {
+      return DataLossError(path + ": CSR v2 checksum mismatch");
+    }
+  }
+
+  auto section = [&](std::uint64_t at,
+                     std::uint64_t bytes) -> std::span<const std::byte> {
+    return {data + at, static_cast<std::size_t>(bytes)};
+  };
+  CompressedGraph cg(lay.params, section(lay.degrees_pos, lay.sizes.degrees),
+                     section(lay.anchors_pos, lay.sizes.anchors),
+                     section(lay.locals_pos, lay.sizes.locals),
+                     section(lay.adj_pos, lay.sizes.adj),
+                     section(lay.perm_pos, lay.sizes.perm),
+                     section(lay.inv_pos, lay.sizes.inv),
+                     std::move(keepalive));
+  if (opts.verify) {
+    GCLUS_RETURN_IF_ERROR(
+        validate_compressed_structure(cg, ThreadPool::global())
+            .with_context(path));
+  }
+  return cg;
+}
+
 StatusOr<Graph> load_csr(const std::string& path, const CsrLoadOptions& opts) {
+  // Sniff the flags word: compressed files route through the compressed
+  // loader and materialize, so plain-CSR consumers accept either layout.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::byte head[16];
+    if (in.good()) {
+      in.read(reinterpret_cast<char*>(head), sizeof head);
+      if (in.good() && read_le_at<std::uint64_t>(head) == kCsr2Magic &&
+          (read_le_at<std::uint32_t>(head + 12) & kCsr2FlagCompressed) != 0) {
+        auto cg = load_compressed_csr(path, opts);
+        if (!cg.ok()) return cg.status();
+        return cg.value().decompress();
+      }
+    }
+  }
   LoadedCsr2 loaded;
   GCLUS_RETURN_IF_ERROR(load_csr2(path, opts, loaded).with_context(path));
   if ((loaded.header.flags & kCsr2FlagWeights) != 0) {
@@ -758,6 +1091,18 @@ void write_csr_file(const Graph& g, const std::string& path) {
 void write_csr_file(const WeightedGraph& g, const std::string& path) {
   const Status st = write_csr(g, path);
   GCLUS_CHECK(st.ok(), "cannot write CSR v2 file: ", st.to_string());
+}
+
+void write_csr_file(const CompressedGraph& g, const std::string& path) {
+  const Status st = write_csr(g, path);
+  GCLUS_CHECK(st.ok(), "cannot write CSR v2 file: ", st.to_string());
+}
+
+CompressedGraph load_compressed_csr_file(const std::string& path,
+                                         const CsrLoadOptions& opts) {
+  auto loaded = load_compressed_csr(path, opts);
+  GCLUS_CHECK(loaded.ok(), loaded.status().to_string());
+  return std::move(loaded).value();
 }
 
 bool try_write_csr_file(const Graph& g, const std::string& path) {
@@ -806,8 +1151,9 @@ std::optional<Csr2Info> probe_csr_file(const std::string& path) {
   Csr2Info info;
   info.version = read_le_at<std::uint32_t>(head + 8);
   if (info.version != kCsr2Version) return std::nullopt;
-  info.weighted =
-      (read_le_at<std::uint32_t>(head + 12) & kCsr2FlagWeights) != 0;
+  const auto flags = read_le_at<std::uint32_t>(head + 12);
+  info.weighted = (flags & kCsr2FlagWeights) != 0;
+  info.compressed = (flags & kCsr2FlagCompressed) != 0;
   info.num_nodes = read_le_at<std::uint64_t>(head + 16);
   info.num_half_edges = read_le_at<std::uint64_t>(head + 24);
   info.file_bytes = file_bytes;

@@ -59,6 +59,7 @@
 #include <string_view>
 
 #include "common/status.hpp"
+#include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 #include "graph/weighted.hpp"
 
@@ -128,6 +129,7 @@ struct CsrLoadOptions {
 struct Csr2Info {
   std::uint32_t version = 0;
   bool weighted = false;
+  bool compressed = false;
   std::uint64_t num_nodes = 0;
   std::uint64_t num_half_edges = 0;
   std::uint64_t file_bytes = 0;
@@ -141,14 +143,34 @@ struct Csr2Info {
 [[nodiscard]] Status write_csr(const WeightedGraph& g,
                                const std::string& path);
 
+/// Writes a compressed CSR v2 file (flags bit 1): a 128-byte parameter
+/// block at offsets_pos followed by the six compressed sections (see
+/// graph/compressed.hpp), all covered by the header checksum.
+/// Compressed files are always unweighted.
+[[nodiscard]] Status write_csr(const CompressedGraph& g,
+                               const std::string& path);
+
 /// Loads an unweighted CSR v2 file.  In mmap mode the returned Graph views
 /// the mapped sections in place (Graph::owns_storage() == false) and the
 /// mapping is pinned for the graph's lifetime — the file may be unlinked
-/// afterwards.  Errors: kInvalidArgument (not CSR v2 / unknown flags /
-/// weighted file), kDataLoss (truncated, checksum mismatch, corrupt
-/// payload), kIoError (cannot open / mmap).
+/// afterwards.  A compressed file is loaded through load_compressed_csr
+/// and decompressed, so plain-CSR consumers (the dataset cache) accept
+/// either layout transparently.  Errors: kInvalidArgument (not CSR v2 /
+/// unknown flags / weighted file), kDataLoss (truncated, checksum
+/// mismatch, corrupt payload), kIoError (cannot open / mmap).
 [[nodiscard]] StatusOr<Graph> load_csr(const std::string& path,
                                        const CsrLoadOptions& opts = {});
+
+/// Loads a compressed CSR v2 file as a CompressedGraph viewing the file's
+/// sections in place (mmap mode; the byte sections are position- and
+/// endian-independent, so zero-copy works on any host) or a private copy
+/// of the file bytes (kCopy).  With opts.verify the payload checksum and
+/// a full structural decode walk run first, so a flipped bit anywhere in
+/// the parameter block, index, or bitstream is kDataLoss here rather than
+/// a wrong answer later.  kInvalidArgument when the file is a plain or
+/// weighted CSR v2.
+[[nodiscard]] StatusOr<CompressedGraph> load_compressed_csr(
+    const std::string& path, const CsrLoadOptions& opts = {});
 
 /// Loads a weighted CSR v2 file.  Always materializes (the interleaved
 /// in-memory adjacency differs from the split on-disk sections), so there
@@ -161,9 +183,12 @@ struct Csr2Info {
 /// load_weighted_csr, for batch callers where any failure is terminal.
 void write_csr_file(const Graph& g, const std::string& path);
 void write_csr_file(const WeightedGraph& g, const std::string& path);
+void write_csr_file(const CompressedGraph& g, const std::string& path);
 [[nodiscard]] Graph load_csr_file(const std::string& path,
                                   const CsrLoadOptions& opts = {});
 [[nodiscard]] WeightedGraph load_weighted_csr_file(
+    const std::string& path, const CsrLoadOptions& opts = {});
+[[nodiscard]] CompressedGraph load_compressed_csr_file(
     const std::string& path, const CsrLoadOptions& opts = {});
 
 /// Optional-returning wrappers for best-effort consumers that only need

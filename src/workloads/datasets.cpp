@@ -180,6 +180,49 @@ Graph cached_graph(const std::string& key,
   return g;
 }
 
+CompressedGraph cached_compressed_graph(const std::string& key,
+                                        const std::function<Graph()>& build) {
+  const std::string dir = dataset_cache_dir();
+  if (dir.empty()) return compress(build());
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  // The "-cz" tag keeps compressed entries keyed apart from the plain ones
+  // for the same graph, so both layouts can coexist in one cache dir.
+  const std::string path = dir + "/" + key + "-cz-g" +
+                           std::to_string(kDatasetGeneratorVersion) + ".csr2";
+  auto cached =
+      GCLUS_FAULTPOINT("cache.load")
+          ? StatusOr<CompressedGraph>(DataLossError("injected corrupt entry"))
+          : io::load_compressed_csr(path);
+  if (cached.ok()) {
+    counters().hits.fetch_add(1, std::memory_order_relaxed);
+    return std::move(cached).value();
+  }
+  const StatusCode code = cached.status().code();
+  if (code == StatusCode::kDataLoss || code == StatusCode::kInvalidArgument) {
+    std::fprintf(stderr,
+                 "gclus: evicting corrupt dataset cache entry %s (%s)\n",
+                 path.c_str(), cached.status().to_string().c_str());
+    counters().corrupt_evictions.fetch_add(1, std::memory_order_relaxed);
+    fs::remove(path, ec);
+  }
+  counters().misses.fetch_add(1, std::memory_order_relaxed);
+  CompressedGraph cg = compress(build());
+
+  const std::string tmp = path + ".tmp." + unique_tmp_suffix();
+  const bool wrote =
+      !GCLUS_FAULTPOINT("cache.write") && io::write_csr(cg, tmp).ok();
+  if (wrote && publish_cache_entry(tmp, path, dir)) {
+    counters().stores.fetch_add(1, std::memory_order_relaxed);
+    return cg;
+  }
+  counters().publish_failures.fetch_add(1, std::memory_order_relaxed);
+  fs::remove(tmp, ec);
+  return cg;
+}
+
 const std::vector<std::string>& dataset_names() {
   static const std::vector<std::string> names = {
       "social-large", "social-small", "road-a", "road-b", "road-c", "mesh"};

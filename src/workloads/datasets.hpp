@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 
 namespace gclus::workloads {
@@ -74,6 +75,14 @@ inline constexpr std::uint32_t kDatasetGeneratorVersion = 1;
 /// Benches wrap their synthetic inputs in this to skip regeneration.
 [[nodiscard]] Graph cached_graph(const std::string& key,
                                  const std::function<Graph()>& build);
+
+/// Compressed-layout counterpart of cached_graph: the cache entry is a
+/// compressed CSR v2 file (suffix "-cz"), hits are zero-copy mmap-backed
+/// CompressedGraphs, and misses build the plain graph, compress it, and
+/// publish the compressed file.  Shares the cache counters, the atomic
+/// publish path, and the corrupt-entry eviction rule with cached_graph.
+[[nodiscard]] CompressedGraph cached_compressed_graph(
+    const std::string& key, const std::function<Graph()>& build);
 
 /// Process-lifetime cache effectiveness counters (for tests and bench
 /// telemetry).
