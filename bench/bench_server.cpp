@@ -16,6 +16,11 @@
 //      answered at 1, 2, and 8 workers is byte-identical, and nothing is
 //      shed when the submitter applies backpressure.
 //
+//   4. The wire adds no wrongness: the same stream served over the
+//      loopback network front end (src/net/) at 1, 2, and 8 workers is
+//      byte-identical to in-process serving; net_qps_* / net_p??_* gauge
+//      what the framing + TCP round trip costs.
+//
 // Worker scaling (qps_8w / qps_1w) is also measured and floored, but the
 // floor adapts to the machine: on >= 8 hardware threads it demands the
 // ISSUE's 3x; on smaller hosts (CI containers are often 1-2 cores, where
@@ -37,6 +42,8 @@
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "server/engine.hpp"
 #include "server/server.hpp"
 
@@ -56,6 +63,10 @@ constexpr std::uint64_t kOracleSeed = 7;
 // keeps on its hot restart path.
 constexpr std::uint32_t kTau = 600;
 constexpr std::uint64_t kQueries = 2000000;
+// Loopback round trips cost ~3 orders of magnitude more than an engine
+// lookup, so the networked mode uses a shorter stream to keep the bench
+// under a minute while still measuring steady-state wire throughput.
+constexpr std::uint64_t kNetQueries = 500000;
 constexpr std::size_t kBatch = 512;
 constexpr std::uint64_t kPerQueryQueries = 100000;  // batch=1 reference
 constexpr double kMinBatchSpeedup = 3.0;
@@ -140,9 +151,10 @@ ServeResult serve(const server::QueryEngine& engine, std::size_t workers,
   Timer t;
   for (std::size_t off = 0; off < stream.size(); off += batch) {
     const std::size_t end = std::min(stream.size(), off + batch);
-    tickets.push_back(
-        srv.submit({stream.begin() + static_cast<long>(off),
-                    stream.begin() + static_cast<long>(end)}));
+    auto ticket = srv.submit({stream.begin() + static_cast<long>(off),
+                              stream.begin() + static_cast<long>(end)});
+    if (!ticket.ok()) bench_failed(ticket.status().to_string());
+    tickets.push_back(std::move(ticket).value());
   }
   std::vector<double> latencies;
   latencies.reserve(tickets.size());
@@ -152,6 +164,56 @@ ServeResult serve(const server::QueryEngine& engine, std::size_t workers,
     latencies.push_back(ticket.latency_s());
   }
   out.wall_s = t.elapsed_s();
+  srv.shutdown();
+  out.qps = static_cast<double>(stream.size()) / out.wall_s;
+  out.shed = srv.stats().shed_batches;
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    return latencies.empty()
+               ? 0.0
+               : latencies[static_cast<std::size_t>(
+                     p * static_cast<double>(latencies.size() - 1))] *
+                     1e6;
+  };
+  out.p50_us = pct(0.5);
+  out.p99_us = pct(0.99);
+  return out;
+}
+
+/// Drives `stream` through a NetServer over loopback — one client
+/// connection, strict request-response — measuring wire QPS and
+/// per-batch round-trip latency.  Answers are collected for the
+/// byte-identity check against in-process serving.
+ServeResult serve_net(const server::QueryEngine& engine, std::size_t workers,
+                      const std::vector<server::Query>& stream,
+                      std::size_t batch) {
+  server::ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_depth = 128;
+  server::QueryServer srv(engine, opts);
+  auto nserver = net::NetServer::start(srv);
+  if (!nserver.ok()) bench_failed(nserver.status().to_string());
+  auto client = net::Client::connect((*nserver)->port());
+  if (!client.ok()) bench_failed(client.status().to_string());
+
+  ServeResult out;
+  out.answers.reserve(stream.size());
+  std::vector<double> latencies;
+  latencies.reserve(stream.size() / batch + 1);
+  Timer t;
+  for (std::size_t off = 0; off < stream.size(); off += batch) {
+    const std::size_t end = std::min(stream.size(), off + batch);
+    Timer t_rt;
+    const auto results =
+        client->submit({stream.begin() + static_cast<long>(off),
+                        stream.begin() + static_cast<long>(end)});
+    if (!results.ok()) bench_failed(results.status().to_string());
+    latencies.push_back(t_rt.elapsed_s());
+    out.answers.insert(out.answers.end(), results->begin(), results->end());
+  }
+  out.wall_s = t.elapsed_s();
+  (*nserver)->request_drain();
+  (*nserver)->drain();
   srv.shutdown();
   out.qps = static_cast<double>(stream.size()) / out.wall_s;
   out.shed = srv.stats().shed_batches;
@@ -225,6 +287,16 @@ int main() {
       r1.answers == r2.answers && r1.answers == r8.answers;
   const std::uint64_t shed_total = r1.shed + r2.shed + r8.shed;
 
+  // --- networked serving over loopback at 1, 2, 8 workers. ---
+  const std::vector<server::Query> net_stream(
+      stream.begin(), stream.begin() + kNetQueries);
+  const ServeResult n1 = serve_net(*loaded, 1, net_stream, kBatch);
+  const ServeResult n2 = serve_net(*loaded, 2, net_stream, kBatch);
+  const ServeResult n8 = serve_net(*loaded, 8, net_stream, kBatch);
+  const bool net_identical =
+      n1.answers == n2.answers && n1.answers == n8.answers &&
+      std::equal(n8.answers.begin(), n8.answers.end(), r1.answers.begin());
+
   // --- per-query submission reference (batch = 1). ---
   const std::vector<server::Query> small(stream.begin(),
                                          stream.begin() + kPerQueryQueries);
@@ -241,6 +313,9 @@ int main() {
   row("batched", 1, kBatch, r1);
   row("batched", 2, kBatch, r2);
   row("batched", 8, kBatch, r8);
+  row("loopback", 1, kBatch, n1);
+  row("loopback", 2, kBatch, n2);
+  row("loopback", 8, kBatch, n8);
   row("per-query", 8, 1, rq);
   table.print("Query service, 2M zipfian queries",
               "targets: batched@8 >= 3x per-query QPS; answers "
@@ -274,6 +349,13 @@ int main() {
   root.set("batch_speedup_vs_perquery", batch_speedup);
   root.set("deterministic_1_2_8", deterministic);
   root.set("shed_total", shed_total);
+  root.set("net_queries_total", kNetQueries);
+  root.set("net_qps_1w", n1.qps);
+  root.set("net_qps_2w", n2.qps);
+  root.set("net_qps_8w", n8.qps);
+  root.set("net_p50_batch_latency_us_8w", n8.p50_us);
+  root.set("net_p99_batch_latency_us_8w", n8.p99_us);
+  root.set("net_identical", net_identical);
   root.set("hardware_threads",
            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
 
@@ -290,15 +372,16 @@ int main() {
       std::thread::hardware_concurrency() >= 8 ? 3.0 : 0.4;
   if (batch_speedup < kMinBatchSpeedup || load_speedup < kMinLoadSpeedup ||
       worker_speedup < worker_floor || !restart_identical || !deterministic ||
-      shed_total != 0) {
+      !net_identical || shed_total != 0) {
     char why[512];
     std::snprintf(why, sizeof(why),
                   "batch_speedup=%.2f (need >= %.1f) load_speedup=%.2f "
                   "(need >= %.1f) worker_speedup=%.2f (need >= %.1f) "
-                  "restart_identical=%d deterministic=%d shed_total=%llu",
+                  "restart_identical=%d deterministic=%d net_identical=%d "
+                  "shed_total=%llu",
                   batch_speedup, kMinBatchSpeedup, load_speedup,
                   kMinLoadSpeedup, worker_speedup, worker_floor,
-                  restart_identical, deterministic,
+                  restart_identical, deterministic, net_identical,
                   static_cast<unsigned long long>(shed_total));
     bench_failed(why);
   }

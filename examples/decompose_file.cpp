@@ -54,6 +54,7 @@
 #include "api/run_context.hpp"
 #include "api/workspace.hpp"
 #include "common/faultpoint.hpp"
+#include "common/parse.hpp"
 #include "common/status.hpp"
 #include "core/quotient.hpp"
 #include "graph/connectivity.hpp"
@@ -82,14 +83,13 @@ void print_registry() {
 // algorithm parameters: a typo must abort, not silently become 0.
 std::uint64_t parse_u64_or_die(const std::string& key,
                                const std::string& value) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || value[0] == '-') {
+  const StatusOr<std::uint64_t> v = parse_u64(value);
+  if (!v.ok()) {
     std::fprintf(stderr, "--%s=%s is not an unsigned integer\n", key.c_str(),
                  value.c_str());
     std::exit(1);
   }
-  return v;
+  return *v;
 }
 
 double parse_double_or_die(const std::string& key, const std::string& value) {

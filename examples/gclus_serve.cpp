@@ -19,25 +19,44 @@
 //   --seed=N --tau=N        decomposition knobs (tau 0 = auto)
 //   --zipf=F                query skew: sources ~ rank^-F (0 = uniform)
 //   --fail-on-shed          exit 3 if any batch was shed
+//   --listen=PORT           serve remote clients on 127.0.0.1:PORT instead
+//                           of a local query stream (0 = ephemeral port);
+//                           the artifact sidecar is watched for republish
+//                           and hot-reloaded (GCLUS_NET_WATCH_MS).
+//                           SIGTERM/SIGINT drain gracefully: every
+//                           accepted batch is answered, then exit 0.
+//   --port-file=PATH        atomically publish the bound port (for
+//                           clients racing an ephemeral --listen=0)
 //
 // Exit codes follow decompose_file: 1 for usage errors, 2 for Status
 // failures (one-line diagnostic on stderr), 3 for a violated serving
 // contract (--fail-on-shed / --require-artifact).  CI's server smoke step
-// runs --build-artifacts, then serves with both contract flags on.
+// runs --build-artifacts, then serves with both contract flags on; the
+// network soak test (scripts/test_net_soak.sh) drives --listen with
+// concurrent gclus_client processes and a mid-stream SIGTERM.
+#include <csignal>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/run_context.hpp"
 #include "common/faultpoint.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
 #include "graph/io.hpp"
+#include "net/server.hpp"
+#include "query_workload.hpp"
 #include "server/engine.hpp"
 #include "server/server.hpp"
 #include "workloads/datasets.hpp"
@@ -48,14 +67,13 @@ using namespace gclus;
 
 std::uint64_t parse_u64_or_die(const std::string& key,
                                const std::string& value) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || value[0] == '-') {
+  const StatusOr<std::uint64_t> v = parse_u64(value);
+  if (!v.ok()) {
     std::fprintf(stderr, "--%s=%s is not an unsigned integer\n", key.c_str(),
                  value.c_str());
     std::exit(1);
   }
-  return v;
+  return *v;
 }
 
 double parse_double_or_die(const std::string& key, const std::string& value) {
@@ -74,55 +92,28 @@ double parse_double_or_die(const std::string& key, const std::string& value) {
   std::exit(2);
 }
 
-/// Zipfian node sampler over ranks 0..n-1 (rank r drawn ∝ (r+1)^-s) via a
-/// precomputed CDF — skewed access is what a shared query service sees in
-/// practice, and what makes the label/APSP cache lines contended.
-class ZipfSampler {
- public:
-  ZipfSampler(NodeId n, double s) : cdf_(n) {
-    double sum = 0.0;
-    for (NodeId r = 0; r < n; ++r) {
-      sum += s == 0.0 ? 1.0 : std::pow(static_cast<double>(r) + 1.0, -s);
-      cdf_[r] = sum;
-    }
-    for (double& c : cdf_) c /= sum;
-  }
+using gclus_cli::make_queries;
 
-  NodeId operator()(Rng& rng) const {
-    const double u = rng.next_double();
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    return static_cast<NodeId>(it - cdf_.begin());
-  }
+// The SIGTERM/SIGINT target: request_drain() is async-signal-safe (an
+// atomic store plus one self-pipe write), so the handler may call it
+// directly.  Published only after the NetServer is fully constructed.
+std::atomic<net::NetServer*> g_drain_target{nullptr};
 
- private:
-  std::vector<double> cdf_;
-};
+extern "C" void handle_drain_signal(int) {
+  if (net::NetServer* s = g_drain_target.load()) s->request_drain();
+}
 
-/// The serving workload: ~90% distance, 5% same-cluster, 5% neighborhood
-/// queries, sources and targets drawn from the zipfian sampler.
-std::vector<server::Query> make_queries(NodeId n, std::uint64_t count,
-                                        double zipf, std::uint64_t seed) {
-  const ZipfSampler sample(n, zipf);
-  Rng rng(seed);
-  std::vector<server::Query> qs;
-  qs.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    server::Query q;
-    q.u = sample(rng);
-    const std::uint64_t roll = rng.next_below(100);
-    if (roll < 90) {
-      q.kind = server::QueryKind::kApproxDistance;
-      q.arg = sample(rng);
-    } else if (roll < 95) {
-      q.kind = server::QueryKind::kSameCluster;
-      q.arg = sample(rng);
-    } else {
-      q.kind = server::QueryKind::kClusterNeighborhood;
-      q.arg = 1;
-    }
-    qs.push_back(q);
+/// Publishes the bound port for clients to discover — atomically, so a
+/// poller never reads a partial write.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) die_status(status_from_errno(errno, tmp));
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    die_status(status_from_errno(errno, path));
   }
-  return qs;
 }
 
 }  // namespace
@@ -137,6 +128,9 @@ int main(int argc, char** argv) {
   std::uint64_t num_queries = 10000;
   std::uint64_t batch = 512;
   double zipf = 0.8;
+  bool listen = false;
+  std::uint16_t listen_port = 0;
+  std::string port_file;
   server::ServerOptions server_opts;
   DistanceOracleOptions oracle_opts;
 
@@ -188,6 +182,17 @@ int main(int argc, char** argv) {
       oracle_opts.tau = static_cast<std::uint32_t>(parse_u64_or_die(key, value));
     } else if (key == "zipf") {
       zipf = parse_double_or_die(key, value);
+    } else if (key == "listen") {
+      const std::uint64_t port = parse_u64_or_die(key, value);
+      if (port > 65535) {
+        std::fprintf(stderr, "--listen=%llu is not a TCP port\n",
+                     static_cast<unsigned long long>(port));
+        return 1;
+      }
+      listen = true;
+      listen_port = static_cast<std::uint16_t>(port);
+    } else if (key == "port-file") {
+      port_file = value;
     } else {
       std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
       return 1;
@@ -261,6 +266,51 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  // ---- network mode: serve remote clients until a drain signal ----
+  if (listen) {
+    server::QueryServer server(
+        std::make_shared<const server::QueryEngine>(std::move(engine).value()),
+        server_opts);
+    net::NetServerOptions net_opts;
+    net_opts.port = listen_port;
+    net_opts.watch_artifact_path = artifact_path;
+    auto nserver = net::NetServer::start(server, std::move(net_opts));
+    if (!nserver.ok()) die_status(nserver.status());
+
+    struct sigaction sa{};
+    sa.sa_handler = handle_drain_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    g_drain_target.store(nserver->get());
+
+    std::printf("listening on 127.0.0.1:%u (%zu workers, watching %s)\n",
+                (*nserver)->port(), server.num_workers(),
+                artifact_path.c_str());
+    std::fflush(stdout);
+    if (!port_file.empty()) write_port_file(port_file, (*nserver)->port());
+
+    // Parks until SIGTERM/SIGINT, then answers everything in flight.
+    (*nserver)->drain();
+    g_drain_target.store(nullptr);
+
+    const net::NetServerStats net_stats = (*nserver)->stats();
+    const server::ServerStats stats = server.stats();
+    std::printf(
+        "drained: connections=%llu frames_in=%llu results_sent=%llu "
+        "errors_sent=%llu bad_frames=%llu reloads=%llu\n",
+        static_cast<unsigned long long>(net_stats.connections_accepted),
+        static_cast<unsigned long long>(net_stats.frames_in),
+        static_cast<unsigned long long>(net_stats.results_sent),
+        static_cast<unsigned long long>(net_stats.errors_sent),
+        static_cast<unsigned long long>(net_stats.bad_frames),
+        static_cast<unsigned long long>(net_stats.reloads));
+    std::printf("  queries served %llu (invalid %llu)\n",
+                static_cast<unsigned long long>(stats.queries_served),
+                static_cast<unsigned long long>(stats.invalid_queries));
+    server.shutdown();  // safe only after drain() returned
+    return 0;
+  }
+
   // ---- serve ----
   const std::vector<server::Query> stream =
       make_queries(engine->num_nodes(), num_queries, zipf, oracle_opts.seed);
@@ -280,9 +330,11 @@ int main(int argc, char** argv) {
     // frees a slot.  try_submit/shedding is for clients that would rather
     // drop load than wait — a load generator wants backpressure, and
     // --fail-on-shed then certifies the queue never overflowed.
-    tickets.push_back(server.submit(
-        {stream.begin() + static_cast<long>(off),
-         stream.begin() + static_cast<long>(end)}));
+    auto ticket =
+        server.submit({stream.begin() + static_cast<long>(off),
+                       stream.begin() + static_cast<long>(end)});
+    if (!ticket.ok()) die_status(ticket.status());
+    tickets.push_back(std::move(ticket).value());
   }
   std::vector<double> latencies;
   latencies.reserve(tickets.size());

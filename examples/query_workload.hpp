@@ -1,0 +1,72 @@
+// Shared query-stream generator for the serving CLIs (gclus_serve,
+// gclus_client): a zipfian node sampler and the canonical serving mix.
+// Both ends of the network soak test generate their streams from this
+// single definition, so a (seed, zipf, count) triple names the same byte
+// stream on the server and every client — which is what makes the
+// replay-and-compare verification in gclus_client meaningful.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "server/server.hpp"
+
+namespace gclus_cli {
+
+/// Zipfian node sampler over ranks 0..n-1 (rank r drawn ∝ (r+1)^-s) via a
+/// precomputed CDF — skewed access is what a shared query service sees in
+/// practice, and what makes the label/APSP cache lines contended.
+class ZipfSampler {
+ public:
+  ZipfSampler(gclus::NodeId n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (gclus::NodeId r = 0; r < n; ++r) {
+      sum += s == 0.0 ? 1.0 : std::pow(static_cast<double>(r) + 1.0, -s);
+      cdf_[r] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  gclus::NodeId operator()(gclus::Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<gclus::NodeId>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// The serving workload: ~90% distance, 5% same-cluster, 5% neighborhood
+/// queries, sources and targets drawn from the zipfian sampler.
+inline std::vector<gclus::server::Query> make_queries(gclus::NodeId n,
+                                                      std::uint64_t count,
+                                                      double zipf,
+                                                      std::uint64_t seed) {
+  const ZipfSampler sample(n, zipf);
+  gclus::Rng rng(seed);
+  std::vector<gclus::server::Query> qs;
+  qs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    gclus::server::Query q;
+    q.u = sample(rng);
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 90) {
+      q.kind = gclus::server::QueryKind::kApproxDistance;
+      q.arg = sample(rng);
+    } else if (roll < 95) {
+      q.kind = gclus::server::QueryKind::kSameCluster;
+      q.arg = sample(rng);
+    } else {
+      q.kind = gclus::server::QueryKind::kClusterNeighborhood;
+      q.arg = 1;
+    }
+    qs.push_back(q);
+  }
+  return qs;
+}
+
+}  // namespace gclus_cli

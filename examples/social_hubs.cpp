@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "baselines/gonzalez.hpp"
+#include "common/parse.hpp"
 #include "core/kcenter.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
@@ -20,7 +21,15 @@
 int main(int argc, char** argv) {
   using namespace gclus;
 
-  const NodeId k = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 24;
+  NodeId k = 24;
+  if (argc > 1) {
+    const StatusOr<std::uint64_t> parsed = parse_u64(argv[1]);
+    if (!parsed.ok() || *parsed == 0 || *parsed > 0xffffffffULL) {
+      std::fprintf(stderr, "usage: social_hubs [K]  (K a positive u32)\n");
+      return 1;
+    }
+    k = static_cast<NodeId>(*parsed);
+  }
 
   // Power-law "follower" network, symmetrized: 60k users.
   const Graph g = largest_component(

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Multi-process soak of the query-service network front end, run by ctest
+# as test_net_soak:
+#
+#   1. gclus_serve --build-artifacts publishes the oracle sidecar.
+#   2. gclus_serve --listen=0 serves it on an ephemeral port.
+#   3. Four gclus_client processes stream batches concurrently, each
+#      replaying every answered batch through a locally loaded QueryEngine
+#      (--verify): any byte difference between the wire answer and the
+#      in-process answer is a client exit 4 and fails the soak.
+#   4. SIGTERM lands mid-stream.  The server must drain gracefully (exit
+#      0) and the drain must lose nothing: the sum of batches the clients
+#      counted as answered equals the server's results_sent — every
+#      accepted batch was answered, every refusal was a clean Status.
+set -u
+
+SERVE="${1:?usage: test_net_soak.sh /path/to/gclus_serve /path/to/gclus_client}"
+CLIENT="${2:?usage: test_net_soak.sh /path/to/gclus_serve /path/to/gclus_client}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/gclus_net_soak.XXXXXX")"
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+"$SERVE" --dataset=mesh --artifacts="$WORK/mesh.orc" --build-artifacts \
+  > /dev/null 2>&1 || fail "artifact build failed"
+
+"$SERVE" --dataset=mesh --artifacts="$WORK/mesh.orc" --require-artifact \
+  --listen=0 --port-file="$WORK/port" > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Streams that take many seconds of round trips (31250 batches each), so
+# the SIGTERM below lands mid-stream and every client sees the drain
+# refusal as a clean Status, not a lost response.
+declare -a CLIENT_PIDS
+for c in 1 2 3 4; do
+  "$CLIENT" --port-file="$WORK/port" --dataset=mesh \
+    --artifacts="$WORK/mesh.orc" --verify --queries=2000000 --batch=64 \
+    --seed="$c" --start-file="$WORK/go" \
+    > "$WORK/client$c.log" 2> "$WORK/client$c.err" &
+  CLIENT_PIDS[$c]=$!
+done
+
+for i in $(seq 1 100); do [ -f "$WORK/port" ] && break; sleep 0.1; done
+[ -f "$WORK/port" ] || fail "server never published its port: $(cat "$WORK/server.log")"
+
+# Rendezvous: wait until every client finished its (slow, staggered)
+# setup, release them together, and confirm each answered at least one
+# batch — only then pull the plug, so the SIGTERM lands mid-stream for
+# all four.
+wait_for_marker() {
+  marker="$1"
+  for i in $(seq 1 600); do
+    found=1
+    for c in 1 2 3 4; do
+      grep -q "^$marker\$" "$WORK/client$c.err" 2>/dev/null || found=0
+    done
+    [ "$found" -eq 1 ] && return 0
+    sleep 0.1
+  done
+  fail "clients never reported '$marker': $(cat "$WORK"/client*.err)"
+}
+wait_for_marker ready
+touch "$WORK/go"
+wait_for_marker streaming
+
+kill -TERM "$SERVER_PID" 2>/dev/null || fail "server died before SIGTERM"
+wait "$SERVER_PID"
+server_code=$?
+SERVER_PID=""
+[ "$server_code" -eq 0 ] ||
+  fail "server exit $server_code after SIGTERM (want graceful 0): $(cat "$WORK/server.log")"
+
+total_answered=0
+total_refused=0
+for c in 1 2 3 4; do
+  wait "${CLIENT_PIDS[$c]}"
+  code=$?
+  [ "$code" -eq 0 ] ||
+    fail "client $c exit $code: $(cat "$WORK/client$c.err")"
+  answered="$(sed -n 's/^answered=\([0-9][0-9]*\) .*/\1/p' "$WORK/client$c.log")"
+  refused="$(sed -n 's/^answered=[0-9]* refused=\([0-9][0-9]*\)$/\1/p' "$WORK/client$c.log")"
+  [ -n "$answered" ] && [ -n "$refused" ] ||
+    fail "client $c printed no summary line"
+  total_answered=$((total_answered + answered))
+  total_refused=$((total_refused + refused))
+done
+
+results_sent="$(sed -n 's/^drained: .*results_sent=\([0-9][0-9]*\) .*/\1/p' "$WORK/server.log")"
+[ -n "$results_sent" ] || fail "server printed no drain stats: $(cat "$WORK/server.log")"
+
+[ "$total_answered" -gt 0 ] || fail "no client answered a single batch — the soak never got going"
+[ "$total_refused" -gt 0 ] ||
+  fail "no client was refused — the SIGTERM landed after the streams finished, not mid-stream"
+[ "$total_answered" -eq "$results_sent" ] ||
+  fail "clients answered $total_answered batches but the server sent $results_sent — a completed response was lost"
+
+echo "PASS: $total_answered answered / $total_refused refused batches across 4 clients, drain lost none"

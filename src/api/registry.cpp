@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/parse.hpp"
 
 namespace gclus {
 
@@ -47,12 +48,12 @@ bool AlgoParams::contains(const std::string& key) const {
 
 namespace {
 
-std::uint64_t parse_u64(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
-  GCLUS_CHECK(end != value.c_str() && *end == '\0' && value[0] != '-',
-              "parameter ", key, ": '", value, "' is not an unsigned integer");
-  return v;
+std::uint64_t parse_u64_param(const std::string& key,
+                              const std::string& value) {
+  const StatusOr<std::uint64_t> v = parse_u64(value);
+  GCLUS_CHECK(v.ok(), "parameter ", key, ": '", value,
+              "' is not an unsigned integer");
+  return *v;
 }
 
 }  // namespace
@@ -61,7 +62,7 @@ std::uint32_t AlgoParams::get_u32(const std::string& key,
                                   std::uint32_t fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  const std::uint64_t v = parse_u64(key, it->second);
+  const std::uint64_t v = parse_u64_param(key, it->second);
   GCLUS_CHECK(v <= 0xffffffffULL, "parameter ", key, ": ", it->second,
               " does not fit in 32 bits");
   return static_cast<std::uint32_t>(v);
@@ -71,7 +72,7 @@ std::uint64_t AlgoParams::get_u64(const std::string& key,
                                   std::uint64_t fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  return parse_u64(key, it->second);
+  return parse_u64_param(key, it->second);
 }
 
 double AlgoParams::get_double(const std::string& key, double fallback) const {

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/check.hpp"
+#include "common/parse.hpp"
 
 namespace gclus::fault {
 
@@ -26,6 +27,9 @@ constexpr const char* kFaultPoints[] = {
     "io.open",        // opening a graph file for reading fails
     "io.read",        // whole-file read fails
     "io.write",       // CSR v2 write fails
+    "net.accept",     // accepting a client connection fails (transient)
+    "net.read",       // reading a frame from a socket fails (transient)
+    "net.write",      // writing a frame to a socket fails (transient)
     "spill.flush",    // sealing (fflush) a spill partition file fails
     "spill.mkdir",    // creating the spill directory fails
     "spill.open",     // opening a partition run file fails
@@ -101,20 +105,17 @@ bool parse_clause(std::string_view clause, Registry& reg) {
     if (*end == ',') {
       const std::string_view rest(end + 1);
       if (rest.rfind("seed=", 0) != 0) return false;
-      const std::string seed_text(rest.substr(5));
-      char* send = nullptr;
-      seed = std::strtoull(seed_text.c_str(), &send, 10);
-      if (send == seed_text.c_str() || *send != '\0') return false;
+      const StatusOr<std::uint64_t> parsed = parse_u64(rest.substr(5));
+      if (!parsed.ok()) return false;
+      seed = *parsed;
     } else if (*end != '\0') {
       return false;
     }
     spec = FaultSpec::probability(p, seed);
   } else {
-    const std::string text(spec_text);
-    char* end = nullptr;
-    const std::uint64_t n = std::strtoull(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0') return false;
-    spec = FaultSpec::first_n(n);
+    const StatusOr<std::uint64_t> n = parse_u64(spec_text);
+    if (!n.ok()) return false;
+    spec = FaultSpec::first_n(*n);
   }
   it->second.spec = spec;
   return true;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/parse.hpp"
+
 namespace gclus::mr {
 
 // Environment overrides let CI (and local debugging) force every engine
@@ -12,13 +14,7 @@ namespace gclus::mr {
 // aborts.  Explicitly-configured engines are never overridden.
 Config apply_env_overrides(Config config) {
   if (config.spill_memory_bytes == 0) {
-    if (const char* env = std::getenv("GCLUS_MR_SPILL_BYTES")) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(env, &end, 10);
-      if (end != env && *end == '\0') {
-        config.spill_memory_bytes = static_cast<std::uint64_t>(v);
-      }
-    }
+    config.spill_memory_bytes = env_u64("GCLUS_MR_SPILL_BYTES", 0);
   }
   if (!config.spill_strict) {
     if (const char* env = std::getenv("GCLUS_MR_SPILL_STRICT")) {

@@ -1,0 +1,71 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+#include "net/protocol.hpp"
+
+namespace gclus::net {
+
+StatusOr<Client> Client::connect(std::uint16_t port) {
+  Client client(port);
+  GCLUS_ASSIGN_OR_RETURN(client.sock_, connect_loopback(port));
+  return client;
+}
+
+Status Client::round_trip(const std::vector<std::uint8_t>& request,
+                          std::vector<server::QueryResult>& results) {
+  if (!sock_.valid()) {
+    GCLUS_ASSIGN_OR_RETURN(sock_, connect_loopback(port_));
+  }
+  if (Status st = write_frame(sock_, request.data(), request.size());
+      !st.ok()) {
+    sock_.close();
+    return st;
+  }
+  std::vector<std::uint8_t> payload;
+  StatusOr<bool> got = read_frame(sock_, payload);
+  if (!got.ok()) {
+    sock_.close();
+    return got.status();
+  }
+  if (!*got) {
+    // EOF where a response was due: transient, so the retry path
+    // reconnects and resends (reads are idempotent).
+    sock_.close();
+    return UnavailableError("server closed the connection mid-request");
+  }
+  StatusOr<Frame> frame = decode_frame(payload.data(), payload.size());
+  if (!frame.ok()) {
+    sock_.close();
+    return frame.status();
+  }
+  switch (frame->type) {
+    case FrameType::kResultBatch:
+      results = std::move(frame->results);
+      return OkStatus();
+    case FrameType::kError:
+      // The server's verdict.  Transient ones (the drain notice) come
+      // with a closed connection on the far side; start fresh.
+      if (frame->error.transient()) sock_.close();
+      return frame->error;
+    case FrameType::kQueryBatch:
+      break;
+  }
+  sock_.close();
+  return InvalidArgumentError("server sent a query batch to a client");
+}
+
+StatusOr<std::vector<server::QueryResult>> Client::submit(
+    const std::vector<server::Query>& queries) {
+  const std::vector<std::uint8_t> request = encode_query_batch(queries);
+  std::vector<server::QueryResult> results;
+  if (Status st = retry_transient(
+          io_retry_policy(),
+          [&] { return round_trip(request, results); });
+      !st.ok()) {
+    return st;
+  }
+  return results;
+}
+
+}  // namespace gclus::net

@@ -1,0 +1,52 @@
+// Client side of the query-service network protocol.
+//
+// One Client = one connection to a NetServer, driven strictly
+// request-response: submit() sends a query batch and blocks for the
+// matching result frame.  Transient failures — a dropped connection, the
+// server's kUnavailable drain notice, injected net.* faults — reconnect
+// and resend under the process-wide retry policy (GCLUS_IO_RETRIES /
+// GCLUS_IO_BACKOFF_US).  Queries are pure reads of an immutable engine,
+// so resending a batch whose response was lost is safe: the answer is
+// byte-identical whichever attempt produced it.  When retries exhaust,
+// the escalated error (kIoError, per retry_transient) is returned — a
+// server that is truly gone is the caller's problem to report, not a
+// reason to abort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/socket.hpp"
+#include "server/server.hpp"
+
+namespace gclus::net {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  [[nodiscard]] static StatusOr<Client> connect(std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one batch and waits for its results (in submission order).
+  /// Retries transient failures with reconnect; a server-reported
+  /// non-transient error (e.g. the batch was malformed) is returned
+  /// as-is.
+  [[nodiscard]] StatusOr<std::vector<server::QueryResult>> submit(
+      const std::vector<server::Query>& queries);
+
+ private:
+  explicit Client(std::uint16_t port) : port_(port) {}
+
+  /// One wire round trip; transient errors invalidate the socket so the
+  /// retry wrapper reconnects.
+  [[nodiscard]] Status round_trip(const std::vector<std::uint8_t>& request,
+                                  std::vector<server::QueryResult>& results);
+
+  std::uint16_t port_ = 0;
+  Socket sock_;
+};
+
+}  // namespace gclus::net

@@ -1,0 +1,206 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/parse.hpp"
+#include "graph/wire.hpp"
+
+namespace gclus::net {
+
+namespace {
+
+using io::wire::read_le_at;
+using io::wire::store_le_at;
+
+constexpr std::size_t kDefaultMaxFramePayload = 16u << 20;  // 16 MiB
+
+std::byte* as_bytes(std::uint8_t* p) { return reinterpret_cast<std::byte*>(p); }
+const std::byte* as_bytes(const std::uint8_t* p) {
+  return reinterpret_cast<const std::byte*>(p);
+}
+
+/// Allocates a frame buffer and fills prefix + header; body starts at
+/// kLenPrefixSize + kHeaderSize.
+std::vector<std::uint8_t> make_frame(FrameType type, std::uint32_t count,
+                                     std::size_t body_bytes) {
+  std::vector<std::uint8_t> out(kLenPrefixSize + kHeaderSize + body_bytes);
+  std::byte* p = as_bytes(out.data());
+  store_le_at(p, static_cast<std::uint32_t>(kHeaderSize + body_bytes));
+  store_le_at(p + 4, kMagic);
+  p[8] = std::byte{kVersion};
+  p[9] = static_cast<std::byte>(type);
+  store_le_at(p + 10, std::uint16_t{0});
+  store_le_at(p + 12, count);
+  return out;
+}
+
+}  // namespace
+
+std::size_t max_frame_payload() {
+  static const std::size_t limit = static_cast<std::size_t>(env_u64(
+      "GCLUS_NET_MAX_FRAME_BYTES", kDefaultMaxFramePayload, kHeaderSize));
+  return limit;
+}
+
+std::vector<std::uint8_t> encode_query_batch(
+    const std::vector<server::Query>& queries) {
+  std::vector<std::uint8_t> out =
+      make_frame(FrameType::kQueryBatch,
+                 static_cast<std::uint32_t>(queries.size()),
+                 queries.size() * kQueryRecordSize);
+  std::byte* p = as_bytes(out.data()) + kLenPrefixSize + kHeaderSize;
+  for (const server::Query& q : queries) {
+    p[0] = static_cast<std::byte>(q.kind);
+    p[1] = p[2] = p[3] = std::byte{0};
+    store_le_at(p + 4, static_cast<std::uint32_t>(q.u));
+    store_le_at(p + 8, q.arg);
+    p += kQueryRecordSize;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_result_batch(
+    const std::vector<server::QueryResult>& results) {
+  std::vector<std::uint8_t> out =
+      make_frame(FrameType::kResultBatch,
+                 static_cast<std::uint32_t>(results.size()),
+                 results.size() * kResultRecordSize);
+  std::byte* p = as_bytes(out.data()) + kLenPrefixSize + kHeaderSize;
+  for (const server::QueryResult& r : results) {
+    p[0] = static_cast<std::byte>(r.code);
+    p[1] = p[2] = p[3] = std::byte{0};
+    store_le_at(p + 4, r.value);
+    p += kResultRecordSize;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_error(const Status& error) {
+  const std::string& msg = error.message();
+  // Clamp pathological messages rather than exceed the frame bound the
+  // peer will enforce.
+  const std::size_t len = std::min<std::size_t>(msg.size(), 4096);
+  std::vector<std::uint8_t> out = make_frame(
+      FrameType::kError, static_cast<std::uint32_t>(len), 4 + len);
+  std::byte* p = as_bytes(out.data()) + kLenPrefixSize + kHeaderSize;
+  p[0] = static_cast<std::byte>(error.code());
+  p[1] = p[2] = p[3] = std::byte{0};
+  std::memcpy(p + 4, msg.data(), len);
+  return out;
+}
+
+namespace {
+
+bool valid_code_byte(std::uint8_t b) {
+  return b <= static_cast<std::uint8_t>(StatusCode::kUnavailable);
+}
+
+}  // namespace
+
+StatusOr<Frame> decode_frame(const std::uint8_t* payload, std::size_t len) {
+  if (len < kHeaderSize) {
+    return InvalidArgumentError("frame shorter than the " +
+                                std::to_string(kHeaderSize) +
+                                "-byte header: " + std::to_string(len));
+  }
+  const std::byte* p = as_bytes(payload);
+  const std::uint32_t magic = read_le_at<std::uint32_t>(p);
+  if (magic != kMagic) {
+    return InvalidArgumentError("bad frame magic " + std::to_string(magic) +
+                                " (not a gclus query protocol peer)");
+  }
+  const auto version = static_cast<std::uint8_t>(p[4]);
+  if (version != kVersion) {
+    return InvalidArgumentError("unsupported protocol version " +
+                                std::to_string(version) + " (speaking " +
+                                std::to_string(kVersion) + ")");
+  }
+  const auto type_byte = static_cast<std::uint8_t>(p[5]);
+  if (read_le_at<std::uint16_t>(p + 6) != 0) {
+    return InvalidArgumentError("reserved header bytes are nonzero");
+  }
+  const std::uint32_t count = read_le_at<std::uint32_t>(p + 8);
+  const std::size_t body = len - kHeaderSize;
+  const std::byte* b = p + kHeaderSize;
+
+  Frame frame;
+  switch (type_byte) {
+    case static_cast<std::uint8_t>(FrameType::kQueryBatch): {
+      if (body != static_cast<std::size_t>(count) * kQueryRecordSize) {
+        return InvalidArgumentError(
+            "query batch count " + std::to_string(count) +
+            " disagrees with body size " + std::to_string(body));
+      }
+      frame.type = FrameType::kQueryBatch;
+      frame.queries.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::byte* r = b + i * kQueryRecordSize;
+        const auto kind = static_cast<std::uint8_t>(r[0]);
+        if (kind > static_cast<std::uint8_t>(
+                       server::QueryKind::kClusterNeighborhood)) {
+          return InvalidArgumentError("unknown query kind byte " +
+                                      std::to_string(kind));
+        }
+        if (r[1] != std::byte{0} || r[2] != std::byte{0} ||
+            r[3] != std::byte{0}) {
+          return InvalidArgumentError("nonzero padding in query record");
+        }
+        frame.queries[i].kind = static_cast<server::QueryKind>(kind);
+        frame.queries[i].u = read_le_at<std::uint32_t>(r + 4);
+        frame.queries[i].arg = read_le_at<std::uint32_t>(r + 8);
+      }
+      return frame;
+    }
+    case static_cast<std::uint8_t>(FrameType::kResultBatch): {
+      if (body != static_cast<std::size_t>(count) * kResultRecordSize) {
+        return InvalidArgumentError(
+            "result batch count " + std::to_string(count) +
+            " disagrees with body size " + std::to_string(body));
+      }
+      frame.type = FrameType::kResultBatch;
+      frame.results.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::byte* r = b + i * kResultRecordSize;
+        const auto code = static_cast<std::uint8_t>(r[0]);
+        if (!valid_code_byte(code)) {
+          return InvalidArgumentError("unknown status code byte " +
+                                      std::to_string(code));
+        }
+        if (r[1] != std::byte{0} || r[2] != std::byte{0} ||
+            r[3] != std::byte{0}) {
+          return InvalidArgumentError("nonzero padding in result record");
+        }
+        frame.results[i].code = static_cast<StatusCode>(code);
+        frame.results[i].value = read_le_at<std::uint64_t>(r + 4);
+      }
+      return frame;
+    }
+    case static_cast<std::uint8_t>(FrameType::kError): {
+      if (body != 4 + static_cast<std::size_t>(count)) {
+        return InvalidArgumentError(
+            "error message length " + std::to_string(count) +
+            " disagrees with body size " + std::to_string(body));
+      }
+      const auto code = static_cast<std::uint8_t>(b[0]);
+      if (!valid_code_byte(code) || code == 0) {
+        return InvalidArgumentError("error frame with status byte " +
+                                    std::to_string(code));
+      }
+      if (b[1] != std::byte{0} || b[2] != std::byte{0} ||
+          b[3] != std::byte{0}) {
+        return InvalidArgumentError("nonzero padding in error frame");
+      }
+      frame.type = FrameType::kError;
+      frame.error = Status(
+          static_cast<StatusCode>(code),
+          std::string(reinterpret_cast<const char*>(b + 4), count));
+      return frame;
+    }
+    default:
+      return InvalidArgumentError("unknown frame type byte " +
+                                  std::to_string(type_byte));
+  }
+}
+
+}  // namespace gclus::net

@@ -1,0 +1,79 @@
+// Wire protocol of the query-service network front end.
+//
+// A connection is a strict request-response stream of length-prefixed
+// frames, all integers little-endian (the dialect of graph/wire.hpp).
+// Frame layout:
+//
+//   offset  size  field
+//   0       4     payload_len   bytes after this prefix (header + body)
+//   4       4     magic         0x50525147 ("GQRP" when read as LE bytes)
+//   8       1     version       kVersion (1)
+//   9       1     frame type    1 query batch, 2 result batch, 3 error
+//   10      2     reserved      must be 0
+//   12      4     count         records in the body (error: message bytes)
+//   16      ...   body
+//
+// Bodies are arrays of fixed-width records so a batch decodes with one
+// bounds check and one memcpy per field:
+//
+//   Query  (12 B): kind u8, pad[3] (0), u u32, arg u32
+//   Result (12 B): code u8, pad[3] (0), value u64
+//   Error:         code u8, pad[3] (0), then `count` message bytes
+//
+// Decoding is strict: wrong magic/version/reserved/type, a count that
+// disagrees with payload_len, nonzero padding, or an unknown enum byte
+// are all kInvalidArgument — the peer spoke a different protocol, and
+// guessing at its intent would corrupt answers silently.  Truncation
+// *below* a decodable header is the transport's problem (see
+// socket.hpp's read_frame, which reports it as kDataLoss).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "server/server.hpp"
+
+namespace gclus::net {
+
+inline constexpr std::uint32_t kMagic = 0x50525147u;  // "GQRP"
+inline constexpr std::uint8_t kVersion = 1;
+/// Bytes of the length prefix, and of the fixed header that follows it.
+inline constexpr std::size_t kLenPrefixSize = 4;
+inline constexpr std::size_t kHeaderSize = 12;
+inline constexpr std::size_t kQueryRecordSize = 12;
+inline constexpr std::size_t kResultRecordSize = 12;
+
+enum class FrameType : std::uint8_t {
+  kQueryBatch = 1,
+  kResultBatch = 2,
+  kError = 3,
+};
+
+/// Largest accepted payload_len: GCLUS_NET_MAX_FRAME_BYTES (default
+/// 16 MiB).  A declared length beyond this is rejected before any
+/// allocation — the defense against a hostile or corrupt length prefix.
+[[nodiscard]] std::size_t max_frame_payload();
+
+/// Encoders produce the complete wire bytes, length prefix included.
+[[nodiscard]] std::vector<std::uint8_t> encode_query_batch(
+    const std::vector<server::Query>& queries);
+[[nodiscard]] std::vector<std::uint8_t> encode_result_batch(
+    const std::vector<server::QueryResult>& results);
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const Status& error);
+
+/// One decoded frame; only the member matching `type` is populated.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<server::Query> queries;          ///< kQueryBatch
+  std::vector<server::QueryResult> results;    ///< kResultBatch
+  Status error = OkStatus();                   ///< kError
+};
+
+/// Decodes the payload of one frame (everything after the length
+/// prefix).  kInvalidArgument on any malformation; never aborts.
+[[nodiscard]] StatusOr<Frame> decode_frame(const std::uint8_t* payload,
+                                           std::size_t len);
+
+}  // namespace gclus::net

@@ -1,0 +1,170 @@
+#include "net/socket.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/faultpoint.hpp"
+#include "graph/wire.hpp"
+#include "net/protocol.hpp"
+
+namespace gclus::net {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+/// recv() exactly `len` bytes.  Returns the byte count actually read
+/// before EOF (== len on success); negative errno values surface as
+/// Status via the caller.
+StatusOr<std::size_t> recv_full(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return status_from_errno(errno, "socket read");
+    }
+    if (n == 0) break;  // peer closed
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+StatusOr<Listener> Listener::bind_loopback(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return status_from_errno(errno, "socket");
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return status_from_errno(errno,
+                             "bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    return status_from_errno(errno, "listen");
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return status_from_errno(errno, "getsockname");
+  }
+  return Listener(std::move(sock), ntohs(addr.sin_port));
+}
+
+StatusOr<Socket> connect_loopback(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return status_from_errno(errno, "socket");
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr = loopback_addr(port);
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return status_from_errno(errno,
+                             "connect 127.0.0.1:" + std::to_string(port));
+  }
+}
+
+StatusOr<bool> wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return status_from_errno(errno, "poll");
+    }
+    return n > 0;
+  }
+}
+
+Status write_frame(Socket& sock, const std::uint8_t* data, std::size_t len) {
+  if (GCLUS_FAULTPOINT("net.write")) {
+    return UnavailableError("injected net.write fault");
+  }
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(sock.fd(), data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return status_from_errno(errno, "socket write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+StatusOr<bool> read_frame(Socket& sock, std::vector<std::uint8_t>& payload) {
+  if (GCLUS_FAULTPOINT("net.read")) {
+    return UnavailableError("injected net.read fault");
+  }
+  std::uint8_t prefix[kLenPrefixSize];
+  GCLUS_ASSIGN_OR_RETURN(const std::size_t prefix_got,
+                         recv_full(sock.fd(), prefix, sizeof prefix));
+  if (prefix_got == 0) return false;  // clean close between frames
+  if (prefix_got < sizeof prefix) {
+    return DataLossError("peer closed mid-frame after " +
+                         std::to_string(prefix_got) +
+                         " bytes of the length prefix");
+  }
+  const auto declared = io::wire::read_le_at<std::uint32_t>(
+      reinterpret_cast<const std::byte*>(prefix));
+  if (declared < kHeaderSize) {
+    return InvalidArgumentError("declared frame payload of " +
+                                std::to_string(declared) +
+                                " bytes cannot hold a header");
+  }
+  if (declared > max_frame_payload()) {
+    return InvalidArgumentError(
+        "declared frame payload of " + std::to_string(declared) +
+        " bytes exceeds the " + std::to_string(max_frame_payload()) +
+        "-byte limit (GCLUS_NET_MAX_FRAME_BYTES)");
+  }
+  payload.resize(declared);
+  GCLUS_ASSIGN_OR_RETURN(
+      const std::size_t body_got,
+      recv_full(sock.fd(), payload.data(), payload.size()));
+  if (body_got < payload.size()) {
+    return DataLossError("peer closed mid-frame: got " +
+                         std::to_string(body_got) + " of " +
+                         std::to_string(payload.size()) + " payload bytes");
+  }
+  return true;
+}
+
+}  // namespace gclus::net

@@ -1,0 +1,83 @@
+// RAII loopback sockets + frame-granular I/O for the query protocol.
+//
+// Everything here is Status-returning and abort-free: a peer that
+// vanishes mid-frame, a length prefix that lies, or an interrupted
+// syscall are environmental events, mapped onto the taxonomy the rest of
+// the tree already speaks —
+//
+//   clean close between frames   read_frame returns false (not an error)
+//   close/short read mid-frame   kDataLoss (the peer promised more bytes)
+//   absurd declared length       kInvalidArgument (rejected pre-alloc)
+//   EINTR                        retried internally, never surfaced
+//
+// Writes use MSG_NOSIGNAL so a dead peer yields EPIPE → Status instead of
+// SIGPIPE killing the process.  The fault points net.read / net.write
+// inject transient kUnavailable failures for the sweep suite; net.accept
+// is exercised by the accept loop in net/server.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gclus::net {
+
+/// Move-only owner of one socket (or pipe) file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A TCP listener bound to 127.0.0.1:`port` (0 picks an ephemeral port;
+/// the bound port is readable via port()).
+class Listener {
+ public:
+  [[nodiscard]] static StatusOr<Listener> bind_loopback(std::uint16_t port);
+
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Releases the port.  Linux resets connections still parked in the
+  /// accept queue, so clients that raced a shutdown fail fast instead of
+  /// blocking on a response that will never come.
+  void close() { sock_.close(); }
+
+ private:
+  Listener(Socket sock, std::uint16_t port)
+      : sock_(std::move(sock)), port_(port) {}
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`.
+[[nodiscard]] StatusOr<Socket> connect_loopback(std::uint16_t port);
+
+/// Blocks until `fd` is readable, up to `timeout_ms`.  Returns whether it
+/// became readable (false = timeout); errors map through the taxonomy.
+[[nodiscard]] StatusOr<bool> wait_readable(int fd, int timeout_ms);
+
+/// Writes `len` bytes, looping over partial writes.  [net.write]
+[[nodiscard]] Status write_frame(Socket& sock, const std::uint8_t* data,
+                                 std::size_t len);
+
+/// Reads one length-prefixed frame into `payload` (replaced, sized to the
+/// declared payload length).  Returns false on a clean close before any
+/// byte of the prefix — the peer simply finished.  [net.read]
+[[nodiscard]] StatusOr<bool> read_frame(Socket& sock,
+                                        std::vector<std::uint8_t>& payload);
+
+}  // namespace gclus::net

@@ -1,27 +1,14 @@
 #include "server/server.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <string>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 
 namespace gclus::server {
-
-namespace {
-
-std::size_t env_size_t(const char* name, std::size_t fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || v == 0) return fallback;
-  return static_cast<std::size_t>(v);
-}
-
-}  // namespace
 
 QueryResult execute_query(const QueryEngine& engine, const Query& q,
                           QueryScratch& scratch,
@@ -53,13 +40,26 @@ QueryResult execute_query(const QueryEngine& engine, const Query& q,
 }
 
 QueryServer::QueryServer(const QueryEngine& engine, ServerOptions opts)
-    : engine_(engine) {
-  std::size_t workers = opts.workers != 0
-                            ? opts.workers
-                            : env_size_t("GCLUS_SERVER_WORKERS", 4);
-  queue_depth_ = opts.queue_depth != 0
-                     ? opts.queue_depth
-                     : env_size_t("GCLUS_SERVER_QUEUE_DEPTH", 128);
+    // Aliasing shared_ptr with no owner: the historical non-owning
+    // contract (engine outlives the server), expressed in the type the
+    // swap seam needs.
+    : QueryServer(std::shared_ptr<const QueryEngine>(
+                      std::shared_ptr<const void>(), &engine),
+                  opts) {}
+
+QueryServer::QueryServer(std::shared_ptr<const QueryEngine> engine,
+                         ServerOptions opts)
+    : engine_(std::move(engine)) {
+  GCLUS_CHECK(engine_ != nullptr, "QueryServer needs an engine");
+  const std::size_t workers =
+      opts.workers != 0
+          ? opts.workers
+          : static_cast<std::size_t>(env_u64("GCLUS_SERVER_WORKERS", 4, 1));
+  queue_depth_ =
+      opts.queue_depth != 0
+          ? opts.queue_depth
+          : static_cast<std::size_t>(env_u64("GCLUS_SERVER_QUEUE_DEPTH", 128,
+                                             1));
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -75,6 +75,10 @@ const std::vector<QueryResult>& QueryServer::Ticket::wait() const {
 }
 
 double QueryServer::Ticket::latency_s() const {
+  // completed_at is written by the worker under batch_->mu; reading it
+  // unlocked before done would be a data race yielding a garbage value.
+  std::unique_lock<std::mutex> lock(batch_->mu);
+  if (!batch_->done) return -1.0;
   return std::chrono::duration<double>(batch_->completed_at -
                                        batch_->enqueued_at)
       .count();
@@ -107,11 +111,28 @@ StatusOr<QueryServer::Ticket> QueryServer::try_submit(
   return enqueue_locked(lock, std::move(queries));
 }
 
-QueryServer::Ticket QueryServer::submit(std::vector<Query> queries) {
+StatusOr<QueryServer::Ticket> QueryServer::submit(std::vector<Query> queries) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [&] { return stop_ || queue_.size() < queue_depth_; });
-  GCLUS_CHECK(!stop_, "QueryServer::submit after shutdown");
+  if (stop_) {
+    // Losing the race with shutdown() is an ordinary event during a
+    // graceful drain — every remote client still writing when SIGTERM
+    // lands takes this path — so it must be a propagated refusal, never
+    // an abort.
+    return UnavailableError("query server is shutting down");
+  }
   return enqueue_locked(lock, std::move(queries));
+}
+
+void QueryServer::swap_engine(std::shared_ptr<const QueryEngine> engine) {
+  GCLUS_CHECK(engine != nullptr, "swap_engine needs an engine");
+  std::unique_lock<std::mutex> lock(mu_);
+  engine_ = std::move(engine);
+}
+
+std::shared_ptr<const QueryEngine> QueryServer::engine() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return engine_;
 }
 
 void QueryServer::shutdown() {
@@ -130,12 +151,16 @@ void QueryServer::worker_loop() {
   std::vector<ClusterId> neighborhood_buf;
   for (;;) {
     std::shared_ptr<Batch> batch;
+    std::shared_ptr<const QueryEngine> engine;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and fully drained
       batch = std::move(queue_.front());
       queue_.pop_front();
+      // Pin the engine for this whole batch: a concurrent swap_engine()
+      // affects later batches only, so no batch mixes artifact versions.
+      engine = engine_;
     }
     not_full_.notify_one();
 
@@ -144,7 +169,7 @@ void QueryServer::worker_loop() {
     std::uint64_t invalid = 0;
     for (std::size_t i = 0; i < b.queries.size(); ++i) {
       b.results[i] =
-          execute_query(engine_, b.queries[i], scratch, neighborhood_buf);
+          execute_query(*engine, b.queries[i], scratch, neighborhood_buf);
       if (b.results[i].code != StatusCode::kOk) ++invalid;
     }
     queries_served_.fetch_add(b.queries.size(), std::memory_order_relaxed);

@@ -8,12 +8,24 @@
 // its QueryScratch, the engine is shared read-only.  When the queue is
 // full, try_submit sheds the batch with kResourceExhausted instead of
 // queueing unbounded work — the caller decides whether to retry, back
-// off, or drop (submit() blocks for space instead).
+// off, or drop (submit() blocks for space instead).  Both submission
+// paths return kUnavailable once shutdown() has begun: with remote
+// clients feeding the queue (src/net/), losing the submit-vs-shutdown
+// race is a routine event during every graceful drain, not a caller bug,
+// so it must propagate as a Status the front end can turn into a wire
+// error instead of aborting the process.
 //
 // Determinism: a QueryResult is a pure function of (engine, query), never
 // of scheduling — workers share no mutable state besides the queue — so N
 // concurrent workers produce answers byte-identical to serial execution
 // of the same stream.  tests/test_server.cpp pins this under TSan.
+//
+// Engine hot-swap: the server holds the engine through a
+// shared_ptr<const QueryEngine> and each worker pins a snapshot per
+// batch, so swap_engine() can atomically replace the artifact under live
+// traffic (the net front end's hot-reload) — every batch is answered
+// entirely by one engine version, never a mix, and the old engine is
+// freed when its last in-flight batch completes.
 //
 // Environment defaults (read when the corresponding option is 0):
 //   GCLUS_SERVER_WORKERS      worker thread count        (default 4)
@@ -100,7 +112,9 @@ class QueryServer {
    public:
     /// Results, in the order the queries were submitted.
     const std::vector<QueryResult>& wait() const;
-    /// Queue-entry to completion latency; only valid after wait().
+    /// Queue-entry to completion latency, or -1.0 while the batch is
+    /// still pending (it reads the completion timestamp under the batch
+    /// lock, so calling before wait() is safe — just not yet meaningful).
     [[nodiscard]] double latency_s() const;
 
    private:
@@ -109,8 +123,12 @@ class QueryServer {
     std::shared_ptr<Batch> batch_;
   };
 
-  /// The engine must outlive the server.
+  /// Non-owning convenience: the engine must outlive the server.
   explicit QueryServer(const QueryEngine& engine, ServerOptions opts = {});
+  /// Owning form — the seam swap_engine() pivots on.  `engine` must be
+  /// non-null.
+  explicit QueryServer(std::shared_ptr<const QueryEngine> engine,
+                       ServerOptions opts = {});
   ~QueryServer();  ///< drains the queue and joins the workers
 
   QueryServer(const QueryServer&) = delete;
@@ -120,10 +138,19 @@ class QueryServer {
   /// is at queue_depth, kUnavailable after shutdown().  Never blocks.
   [[nodiscard]] StatusOr<Ticket> try_submit(std::vector<Query> queries);
 
-  /// Enqueues a batch, blocking until queue space frees up.  Submitting
-  /// after shutdown() aborts (programmer error — use try_submit when the
-  /// server may be stopping concurrently).
-  [[nodiscard]] Ticket submit(std::vector<Query> queries);
+  /// Enqueues a batch, blocking until queue space frees up.
+  /// kUnavailable when the server has been (or is concurrently being)
+  /// shut down — a normal race during graceful drain, never an abort.
+  [[nodiscard]] StatusOr<Ticket> submit(std::vector<Query> queries);
+
+  /// Atomically replaces the engine for batches popped from now on.
+  /// In-flight batches finish on the engine they started with; the old
+  /// engine is released once its last batch completes.  `engine` must be
+  /// non-null and its artifact must describe the same graph.
+  void swap_engine(std::shared_ptr<const QueryEngine> engine);
+
+  /// The engine currently answering new batches.
+  [[nodiscard]] std::shared_ptr<const QueryEngine> engine() const;
 
   /// Stops accepting work, drains everything already queued, joins the
   /// workers.  Idempotent; the destructor calls it.
@@ -148,7 +175,7 @@ class QueryServer {
   Ticket enqueue_locked(std::unique_lock<std::mutex>& lock,
                         std::vector<Query> queries);
 
-  const QueryEngine& engine_;
+  std::shared_ptr<const QueryEngine> engine_;  ///< guarded by mu_
   std::size_t queue_depth_ = 0;
 
   mutable std::mutex mu_;

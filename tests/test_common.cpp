@@ -1,13 +1,19 @@
 // Unit tests for src/common: mixing, RNG streams, keyed (counter-based)
-// randomness, and the check macros.
+// randomness, the check macros, and the validated integer parsing that
+// every CLI flag and environment knob funnels through.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
 
 namespace gclus {
@@ -154,6 +160,40 @@ TEST(AccumTimer, AccumulatesIntervals) {
   at.start();
   at.stop();
   EXPECT_GE(at.total_s(), 0.0);
+}
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0").value(), 0u);
+  EXPECT_EQ(parse_u64("42").value(), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615").value(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsEverythingElse) {
+  for (const char* bad :
+       {"", " 42", "42 ", "+42", "-1", "0x10", "1e3", "4 2", "nine",
+        "18446744073709551616" /* max + 1 */, "99999999999999999999"}) {
+    SCOPED_TRACE(bad);
+    const auto v = parse_u64(bad);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(EnvU64, FallsBackAndEnforcesMinimum) {
+  ::unsetenv("GCLUS_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("GCLUS_TEST_ENV_U64", 7), 7u);  // unset
+  ::setenv("GCLUS_TEST_ENV_U64", "", 1);
+  EXPECT_EQ(env_u64("GCLUS_TEST_ENV_U64", 7), 7u);  // empty
+  ::setenv("GCLUS_TEST_ENV_U64", "12", 1);
+  EXPECT_EQ(env_u64("GCLUS_TEST_ENV_U64", 7), 12u);  // set
+  ::setenv("GCLUS_TEST_ENV_U64", "banana", 1);
+  EXPECT_EQ(env_u64("GCLUS_TEST_ENV_U64", 7), 7u);  // malformed -> fallback
+  ::setenv("GCLUS_TEST_ENV_U64", "3", 1);
+  EXPECT_EQ(env_u64("GCLUS_TEST_ENV_U64", 7, 5), 7u);  // below minimum
+  ::setenv("GCLUS_TEST_ENV_U64", "5", 1);
+  EXPECT_EQ(env_u64("GCLUS_TEST_ENV_U64", 7, 5), 5u);  // at minimum
+  ::unsetenv("GCLUS_TEST_ENV_U64");
 }
 
 }  // namespace

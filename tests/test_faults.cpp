@@ -29,7 +29,10 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mapreduce/engine.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "server/engine.hpp"
+#include "server/server.hpp"
 #include "test_util.hpp"
 #include "workloads/datasets.hpp"
 
@@ -169,6 +172,40 @@ std::vector<std::uint64_t> artifact_answers(const server::QueryEngine& e) {
   return out;
 }
 
+// --- Scenario 5: the network front end. --------------------------------------
+// One full wire round trip (connect, send a query-batch frame, read the
+// result frame) under injection.  net.accept drops the freshly accepted
+// socket, net.read/net.write fail the frame I/O as transient
+// kUnavailable; the client's bounded retry either recovers (one-shot
+// faults) with answers byte-identical to the in-process reference, or
+// gives up with a clean escalated Status (persistent faults) — the server
+// process survives every variant.
+std::vector<server::Query> net_queries(NodeId n) {
+  std::vector<server::Query> qs;
+  for (NodeId u = 0; u < n; ++u) {
+    qs.push_back({server::QueryKind::kApproxDistance, u, (u * 7 + 3) % n});
+    qs.push_back({server::QueryKind::kSameCluster, u, (u * 5 + 1) % n});
+    qs.push_back({server::QueryKind::kClusterNeighborhood, u, 1 + u % 3});
+  }
+  return qs;
+}
+
+void run_net_scenario(net::NetServer& nserver,
+                      const std::vector<server::Query>& qs,
+                      const std::vector<server::QueryResult>& ref) {
+  auto client = net::Client::connect(nserver.port());
+  if (!client.ok()) {
+    EXPECT_FALSE(client.status().message().empty());
+    return;
+  }
+  const auto got = client->submit(qs);
+  if (got.ok()) {
+    EXPECT_EQ(*got, ref);
+  } else {
+    EXPECT_FALSE(got.status().message().empty());
+  }
+}
+
 void run_artifact_scenario(const Graph& g,
                            const std::vector<std::uint64_t>& ref,
                            const std::string& path) {
@@ -197,6 +234,17 @@ TEST(FaultSweep, EveryPointFailsCleanlyOrDegrades) {
   ASSERT_TRUE(art_ref_engine.ok()) << art_ref_engine.status().to_string();
   const std::vector<std::uint64_t> art_ref = artifact_answers(*art_ref_engine);
 
+  // One live NetServer shared across the sweep: the same process must keep
+  // serving after every injected network failure.
+  auto net_engine = std::make_shared<const server::QueryEngine>(
+      server::QueryEngine::build(Graph(csr_ref), artifact_opts()).value());
+  server::QueryServer net_qserver(net_engine);
+  auto nserver = net::NetServer::start(net_qserver);
+  ASSERT_TRUE(nserver.ok()) << nserver.status().to_string();
+  const std::vector<server::Query> net_qs = net_queries(csr_ref.num_nodes());
+  const auto net_ref_ticket = net_qserver.submit(net_qs).value();
+  const std::vector<server::QueryResult> net_ref = net_ref_ticket.wait();
+
   const std::pair<const char*, fault::FaultSpec> modes[] = {
       {"once", fault::FaultSpec::once()},
       {"always", fault::FaultSpec::always()},
@@ -215,6 +263,7 @@ TEST(FaultSweep, EveryPointFailsCleanlyOrDegrades) {
       }
       run_cache_scenario(base + "/cache", std::string("k-") + name + "-" + tag);
       run_artifact_scenario(csr_ref, art_ref, stem + ".orc");
+      run_net_scenario(**nserver, net_qs, net_ref);
       fault::disarm_all();
     }
     // The sweep is only a sweep if forcing the point actually reached it.

@@ -6,7 +6,9 @@
 // target of the sanitizer CI job.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -164,7 +166,7 @@ TEST(QueryServer, ServesBatchesAndCounts) {
 
   const std::vector<Query> qs = make_workload(g.num_nodes(), 400, 1);
   const std::vector<QueryResult> expected = run_serial(engine, qs);
-  auto ticket = server.submit(qs);
+  auto ticket = server.submit(qs).value();
   EXPECT_EQ(ticket.wait(), expected);
   EXPECT_GE(ticket.latency_s(), 0.0);
 
@@ -184,7 +186,11 @@ TEST(QueryServer, InvalidQueryFailsAloneInItsBatch) {
       {QueryKind::kApproxDistance, g.num_nodes() + 7, 0},  // bad id
       {QueryKind::kSameCluster, 1, 2},
   };
-  const auto& results = server.submit(qs).wait();
+  // Hold the ticket: it owns the batch the result vector lives in, so
+  // binding `results` through a temporary would dangle once the worker
+  // drops its own reference.
+  const auto ticket = server.submit(qs).value();
+  const auto& results = ticket.wait();
   ASSERT_EQ(results.size(), 3u);
   EXPECT_EQ(results[0].code, StatusCode::kOk);
   EXPECT_EQ(results[1].code, StatusCode::kInvalidArgument);
@@ -230,7 +236,7 @@ TEST(QueryServer, ShutdownDrainsAcceptedWork) {
 
   QueryServer server(engine, {.workers = 2, .queue_depth = 64});
   std::vector<QueryServer::Ticket> tickets;
-  for (int i = 0; i < 16; ++i) tickets.push_back(server.submit(qs));
+  for (int i = 0; i < 16; ++i) tickets.push_back(server.submit(qs).value());
   server.shutdown();  // must drain all 16, then stop
   for (const auto& t : tickets) EXPECT_EQ(t.wait(), expected);
   EXPECT_EQ(server.stats().batches_served, 16u);
@@ -257,9 +263,11 @@ TEST(QueryServer, ConcurrentAnswersAreByteIdenticalToSerial) {
     constexpr std::size_t kBatch = 250;
     std::vector<QueryServer::Ticket> tickets;
     for (std::size_t off = 0; off < stream.size(); off += kBatch) {
-      tickets.push_back(server.submit(
-          {stream.begin() + static_cast<long>(off),
-           stream.begin() + static_cast<long>(off + kBatch)}));
+      tickets.push_back(
+          server
+              .submit({stream.begin() + static_cast<long>(off),
+                       stream.begin() + static_cast<long>(off + kBatch)})
+              .value());
     }
     std::vector<QueryResult> got;
     got.reserve(stream.size());
@@ -295,7 +303,7 @@ TEST(QueryServer, ConcurrentClientsSeeConsistentAnswers) {
     for (int c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
         for (int round = 0; round < 5; ++round) {
-          auto ticket = server.submit(streams[c]);
+          auto ticket = server.submit(streams[c]).value();
           if (ticket.wait() != expected[c]) ++mismatches[c];
         }
       });
@@ -305,6 +313,97 @@ TEST(QueryServer, ConcurrentClientsSeeConsistentAnswers) {
   for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0) << c;
   EXPECT_EQ(server.stats().queries_served,
             static_cast<std::uint64_t>(kClients) * 5 * 800);
+}
+
+// ---- shutdown race & hot swap -----------------------------------------------
+
+TEST(QueryServer, SubmitShutdownRaceNeverAborts) {
+  // Regression: submit() used to GCLUS_CHECK(!stop_) and abort the whole
+  // process when it lost the race with shutdown() — with remote clients
+  // attached that abort kills every connection at once.  Hammer the race
+  // and assert refusal is a kUnavailable Status, every accepted batch
+  // completes with the right answers, and none is silently dropped.
+  const Graph g = gen::ring_of_cliques(4, 8);
+  const QueryEngine engine = make_engine(g);
+  const std::vector<Query> qs = make_workload(g.num_nodes(), 50, 7);
+  const std::vector<QueryResult> expected = run_serial(engine, qs);
+
+  for (int round = 0; round < 20; ++round) {
+    QueryServer server(engine, {.workers = 2, .queue_depth = 4});
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::vector<std::thread> producers;
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 25;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          auto t = server.submit(qs);
+          if (t.ok()) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            EXPECT_EQ(t->wait(), expected);
+          } else {
+            EXPECT_EQ(t.status().code(), StatusCode::kUnavailable);
+            refused.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    server.shutdown();  // races every producer's submit
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(accepted.load() + refused.load(),
+              static_cast<std::uint64_t>(kProducers) * kPerProducer);
+    // Accepted and completed are the same set: nothing accepted was lost
+    // in the drain, nothing refused was half-queued.
+    EXPECT_EQ(server.stats().batches_served, accepted.load());
+  }
+}
+
+TEST(QueryServer, LatencyIsSentinelWhilePending) {
+  const Graph g = gen::ring_of_cliques(6, 10);
+  const QueryEngine engine = make_engine(g);
+  // One worker, pinned down by a long first batch, so the second batch is
+  // provably still queued when we probe its latency.
+  QueryServer server(engine, {.workers = 1, .queue_depth = 8});
+  auto slow = server.submit(make_workload(g.num_nodes(), 200000, 8)).value();
+  auto queued = server.submit(make_workload(g.num_nodes(), 10, 9)).value();
+  EXPECT_EQ(queued.latency_s(), -1.0);  // not done: sentinel, not garbage
+  queued.wait();
+  EXPECT_GE(queued.latency_s(), 0.0);
+  slow.wait();
+}
+
+TEST(QueryServer, SwapEngineServesOldThenNewNeverMixed) {
+  // Two engines over the same graph with different decomposition radii:
+  // their answer streams differ, which lets each batch be classified as
+  // entirely-v1, entirely-v2, or (the bug) a mix of both.
+  const Graph g = gen::cycle(240);
+  auto e1 = std::make_shared<QueryEngine>(make_engine(g, /*seed=*/3, /*tau=*/2));
+  auto e2 = std::make_shared<QueryEngine>(make_engine(g, /*seed=*/3, /*tau=*/8));
+  const std::vector<Query> qs = make_workload(g.num_nodes(), 400, 10);
+  const std::vector<QueryResult> exp1 = run_serial(*e1, qs);
+  const std::vector<QueryResult> exp2 = run_serial(*e2, qs);
+  ASSERT_NE(exp1, exp2);
+
+  QueryServer server(std::shared_ptr<const QueryEngine>(e1),
+                     {.workers = 4, .queue_depth = 16});
+  EXPECT_EQ(server.engine().get(), e1.get());
+
+  std::vector<QueryServer::Ticket> before;
+  for (int i = 0; i < 8; ++i) before.push_back(server.submit(qs).value());
+  server.swap_engine(e2);
+  EXPECT_EQ(server.engine().get(), e2.get());
+  std::vector<QueryServer::Ticket> after;
+  for (int i = 0; i < 8; ++i) after.push_back(server.submit(qs).value());
+
+  // Batches in flight across the swap may land on either version, but
+  // each one whole: a batch matching neither stream mixed engines.
+  for (const auto& t : before) {
+    const auto& r = t.wait();
+    EXPECT_TRUE(r == exp1 || r == exp2);
+  }
+  // Batches submitted after swap_engine() returned must see v2 only.
+  for (const auto& t : after) EXPECT_EQ(t.wait(), exp2);
 }
 
 }  // namespace
